@@ -1,0 +1,12 @@
+"""Paper Figure 2: the system-configuration table."""
+
+from repro.experiments import fig2_system_configuration
+
+
+def test_fig02_system_configuration(run_once, bench_config):
+    result = run_once(fig2_system_configuration, bench_config)
+    print("\n" + result.format())
+    rows = {row[0]: (row[1], row[2]) for row in result.rows}
+    assert rows["L2 cache type"] == ("Shared", "Shared")
+    assert rows["Number of cores"][1] == "4"
+    assert rows["L1 cache size"][1] == "8 KB"

@@ -1,0 +1,20 @@
+"""Paper Figure 3: per-thread performance variability under a shared cache.
+
+Expected shape: wide variability; in every strong application the critical
+thread is substantially slower than the fastest thread.
+"""
+
+from repro.experiments import fig3_performance_variability
+
+STRONG_APPS = ("swim", "mgrid", "applu", "art", "cg", "mg")
+
+
+def test_fig03_performance_variability(run_once, bench_config):
+    result = run_once(fig3_performance_variability, bench_config)
+    print("\n" + result.format())
+    for row in result.rows:
+        app, values = row[0], row[1:-1]
+        assert max(values) == 1.0
+        if app in STRONG_APPS:
+            # The critical thread runs at under ~75 % of the fastest.
+            assert min(values) < 0.75, f"{app}: no meaningful variability {values}"

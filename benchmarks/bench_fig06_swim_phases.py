@@ -1,0 +1,18 @@
+"""Paper Figure 6: per-interval CPI of SWIM's threads (phase behaviour)."""
+
+import numpy as np
+
+from repro.experiments import fig6_swim_cpi_phases
+
+
+def test_fig06_swim_cpi_phases(run_once, bench_config):
+    result = run_once(fig6_swim_cpi_phases, bench_config)
+    print("\n" + result.format())
+    # SWIM's profile has three phases; at least one thread's CPI series
+    # must vary materially across intervals (coefficient of variation).
+    cvs = []
+    for series in result.series.values():
+        arr = np.asarray(series)
+        if arr.mean() > 0:
+            cvs.append(arr.std() / arr.mean())
+    assert max(cvs) > 0.1, "expected visible phase behaviour in SWIM"

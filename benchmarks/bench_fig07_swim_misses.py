@@ -1,0 +1,12 @@
+"""Paper Figure 7: per-interval L2 misses of one SWIM thread, which must
+track the CPI series of Figure 6 (that correlation is the paper's point)."""
+
+from repro.experiments import fig7_swim_miss_phases
+
+
+def test_fig07_swim_miss_phases(run_once, bench_config):
+    result = run_once(fig7_swim_miss_phases, bench_config)
+    print("\n" + result.format())
+    assert "correlation" in result.notes
+    corr = float(result.notes.split(":")[-1])
+    assert corr > 0.6, f"miss series should track the CPI series, corr={corr}"

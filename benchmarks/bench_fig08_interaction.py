@@ -1,0 +1,13 @@
+"""Paper Figure 8: inter-thread share of cache interactions (~11.5 % avg)."""
+
+from repro.experiments import fig8_interaction_fraction
+
+
+def test_fig08_interaction_fraction(run_once, bench_config):
+    result = run_once(fig8_interaction_fraction, bench_config)
+    print("\n" + result.format())
+    shares = [float(row[1]) for row in result.rows]
+    avg = sum(shares) / len(shares)
+    # Paper band: a noticeable minority of all accesses (11.5 % average).
+    assert 5.0 < avg < 25.0, f"inter-thread share {avg:.1f}% outside the plausible band"
+    assert all(s < 40.0 for s in shares)

@@ -1,0 +1,20 @@
+"""Paper Figure 9: constructive vs destructive inter-thread interactions.
+
+Expected shape: not all interactions are constructive; a significant
+destructive (cross-thread eviction) component exists in the contended
+applications, while sharing-heavy small apps are mostly constructive.
+"""
+
+from repro.experiments import fig9_interaction_breakdown
+
+
+def test_fig09_interaction_breakdown(run_once, bench_config):
+    result = run_once(fig9_interaction_breakdown, bench_config)
+    print("\n" + result.format())
+    rows = {row[0]: (float(row[1]), float(row[2])) for row in result.rows}
+    # Every app shows some of both; contended apps are destruction-heavy.
+    destructive = [d for _, d in rows.values()]
+    assert max(destructive) > 40.0, "expected significant destructive interaction somewhere"
+    assert min(destructive) < 60.0, "expected constructive sharing somewhere"
+    # ft shares heavily and should be mostly constructive.
+    assert rows["ft"][0] > 50.0

@@ -1,0 +1,18 @@
+"""Paper Figure 10: heterogeneous cache sensitivity of SWIM's threads.
+
+The paper shows thread 1 improving substantially from 16 -> 32 ways while
+thread 2 barely moves.  We probe each thread at a quarter and half of the
+cache and assert the sensitivity spread.
+"""
+
+from repro.experiments import fig10_way_sensitivity
+
+
+def test_fig10_way_sensitivity(run_once, bench_config):
+    result = run_once(fig10_way_sensitivity, bench_config, "swim")
+    print("\n" + result.format())
+    sens = {t: result.sensitivity(t) for t in result.cpi}
+    # The cache-hungry thread gains a lot from doubling its allocation...
+    assert max(sens.values()) > 0.10
+    # ...while the least sensitive thread gains very little.
+    assert min(sens.values()) < 0.05

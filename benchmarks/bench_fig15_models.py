@@ -1,0 +1,19 @@
+"""Paper Figure 15: runtime CPI-vs-ways models and the optimised partition.
+
+Expected shape: the optimiser's partition gives the critical thread the
+largest share and its predicted overall CPI (max over threads) is no worse
+than the equal partition's.
+"""
+
+from repro.experiments import fig15_runtime_models
+
+
+def test_fig15_runtime_models(run_once, bench_config):
+    result = run_once(fig15_runtime_models, bench_config, "cg")
+    print("\n" + result.format())
+    assert sum(result.optimized_partition) == bench_config.total_ways
+    assert result.predicted_cpi_optimized <= result.predicted_cpi_equal + 1e-9
+    # cg's critical thread (index 2, big footprint) gets the largest share.
+    assert result.optimized_partition[2] == max(result.optimized_partition)
+    # Each thread has a model backed by at least two observed knots.
+    assert all(len(k) >= 2 for k in result.knots.values())

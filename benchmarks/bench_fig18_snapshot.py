@@ -1,0 +1,18 @@
+"""Paper Figure 18: the partitioning snapshot across consecutive intervals
+of NAS CG — equal start, then the critical thread (thread 3 in the paper's
+1-based numbering; index 2 here) receives the largest share and overall
+CPI drops."""
+
+from repro.experiments import fig18_partition_snapshot
+
+
+def test_fig18_partition_snapshot(run_once, bench_config):
+    result = run_once(fig18_partition_snapshot, bench_config, "cg", 6)
+    print("\n" + result.format())
+    first, last = result.rows[0], result.rows[-1]
+    equal = bench_config.total_ways // bench_config.n_threads
+    assert first["targets"] == [equal] * bench_config.n_threads
+    # The big-footprint thread ends with the largest partition...
+    assert last["targets"][2] == max(last["targets"])
+    # ...and overall CPI improves relative to the equal first interval.
+    assert last["overall_cpi"] < first["overall_cpi"]

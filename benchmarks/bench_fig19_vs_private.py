@@ -1,0 +1,26 @@
+"""Paper Figure 19: dynamic partitioning vs the statically (equal)
+partitioned — i.e. private — cache.
+
+Paper bands: improvement up to 23 %, average ~11 %, positive for the
+contended applications and near-neutral for the small-working-set codes.
+Our synthetic criticals are somewhat more cache-sensitive than the real
+benchmarks, so the maxima run higher (documented in EXPERIMENTS.md); the
+assertions guard the shape: who wins and where it is neutral.
+"""
+
+from repro.experiments import fig19_vs_private
+
+SMALL_APPS = {"equake", "ft", "wupwise"}
+
+
+def test_fig19_vs_private(run_once, bench_config):
+    result = run_once(fig19_vs_private, bench_config)
+    print("\n" + result.format())
+    by_app = dict(zip(result.apps, result.speedups, strict=True))
+    assert result.average > 0.05, "dynamic partitioning must beat private on average"
+    assert result.maximum > 0.15
+    for app, gain in by_app.items():
+        if app in SMALL_APPS:
+            assert abs(gain) < 0.05, f"{app} should be near-neutral, got {gain:+.1%}"
+        else:
+            assert gain > 0.0, f"{app} should gain over private, got {gain:+.1%}"

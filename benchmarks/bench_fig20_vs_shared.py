@@ -1,0 +1,21 @@
+"""Paper Figure 20: dynamic partitioning vs the shared unpartitioned cache.
+
+Paper bands: up to 15 % improvement, ~9 % average, with three
+small-working-set benchmarks showing only small benefit.
+"""
+
+from repro.experiments import fig20_vs_shared
+
+SMALL_APPS = {"equake", "ft", "wupwise"}
+
+
+def test_fig20_vs_shared(run_once, bench_config):
+    result = run_once(fig20_vs_shared, bench_config)
+    print("\n" + result.format())
+    by_app = dict(zip(result.apps, result.speedups, strict=True))
+    assert result.average > 0.04, "dynamic partitioning must beat shared on average"
+    assert result.maximum > 0.10
+    strong = [g for a, g in by_app.items() if a not in SMALL_APPS]
+    assert all(g > -0.02 for g in strong), f"contended apps must not lose: {by_app}"
+    for app in SMALL_APPS:
+        assert abs(by_app[app]) < 0.05, f"{app} should show only small effect"

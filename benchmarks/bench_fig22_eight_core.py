@@ -1,0 +1,15 @@
+"""Paper Figure 22: the headline comparisons on an 8-core CMP.
+
+Paper claim: gains similar to the 4-core case (same cache, twice the
+threads — per-thread capacity halves, so partitioning matters at least as
+much)."""
+
+from repro.experiments import fig22_eight_core
+
+
+def test_fig22_eight_core(run_once, bench_config_8core):
+    result = run_once(fig22_eight_core, bench_config_8core)
+    print("\n" + result.format())
+    assert result.vs_private.average > 0.03
+    assert result.vs_shared.average > 0.0
+    assert result.vs_shared.maximum > 0.05

@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_fig*.py`` module regenerates one table or figure from the
+paper at the calibrated evaluation scale (see ``SystemConfig.default`` and
+DESIGN.md §2) and prints the same rows/series the paper reports.  Run
+
+    pytest benchmarks/ --benchmark-only
+
+and add ``-s`` to see the regenerated tables inline; every module also
+asserts the qualitative shape the paper claims.  Simulation results are
+memoised across modules (``repro.experiments.get_result``), so the first
+figure touching a given app/policy pays the simulation cost and later
+figures reuse it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SystemConfig
+
+# The calibrated evaluation configuration.  Interval count is reduced from
+# 50 to 30 to keep the full harness within a few minutes of wall clock;
+# the headline shapes are stable beyond ~20 intervals.
+BENCH_INTERVALS = 30
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SystemConfig:
+    return SystemConfig.default().with_(n_intervals=BENCH_INTERVALS)
+
+
+@pytest.fixture(scope="session")
+def bench_config_8core() -> SystemConfig:
+    return SystemConfig.eight_core().with_(n_intervals=BENCH_INTERVALS)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Measure ``fn`` with a single round (simulations are long-running
+    and deterministic; statistical repetition buys nothing here)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Hierarchical cache management for co-executing applications (paper Fig. 16).
+
+The paper's vision is two layers: the OS partitions the shared cache
+among applications; each application's runtime partitions its slice among
+its threads.  This example co-runs two four-thread applications on an
+8-core CMP and compares four managements of the same 32-way L2:
+
+* shared                   — no partitioning anywhere (global LRU)
+* os-only                  — dynamic inter-app partition, equal intra split
+* hierarchical-static-os   — fixed inter-app split, model-based intra
+* hierarchical             — both layers dynamic (the paper's Fig. 16)
+
+    python examples/coexecution.py [appA appB]
+"""
+
+import sys
+
+from repro import SystemConfig
+from repro.experiments.reporting import format_table
+from repro.multiapp import run_coexecution
+from repro.trace import list_workloads
+
+SCHEMES = ["shared", "os-only", "hierarchical-static-os", "hierarchical"]
+
+
+def main() -> None:
+    apps = sys.argv[1:3] if len(sys.argv) >= 3 else ["cg", "swim"]
+    for a in apps:
+        if a not in list_workloads():
+            raise SystemExit(f"unknown app {a!r}; choose from: {', '.join(list_workloads())}")
+
+    config = SystemConfig.default().with_(n_intervals=30)
+    print(f"Co-executing {apps[0]!r} and {apps[1]!r}: 4 threads each, "
+          f"{config.total_ways}-way shared L2\n")
+
+    results = {
+        s: run_coexecution(list(apps), config, scheme=s, threads_per_app=4)
+        for s in SCHEMES
+    }
+    base = results["shared"].total_cycles
+    rows = []
+    for s in SCHEMES:
+        res = results[s]
+        rows.append(
+            [s]
+            + [f"{a.completion_cycles / 1e6:.2f}M" for a in res.apps]
+            + [f"{res.total_cycles / 1e6:.2f}M", f"{base / res.total_cycles - 1:+.1%}"]
+        )
+    print(format_table(
+        ["scheme", *apps, "wall clock", "vs shared"],
+        rows,
+        title="completion cycles per application",
+    ))
+
+    hier = results["hierarchical"]
+    if hier.budget_trace:
+        print("\nOS budget trajectory (app ticks, [ways per app]):")
+        for tick, budgets in hier.budget_trace[:8]:
+            print(f"  tick {tick:3d}: {budgets}")
+    print("\nTakeaway: inter-application partitioning alone inherits the "
+          "equal-split problem inside every slice; the intra-application "
+          "runtime below it is what makes partitioning pay.")
+
+
+if __name__ == "__main__":
+    main()

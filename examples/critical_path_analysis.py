@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Critical-path analysis of a multithreaded application (paper §IV).
+
+Reproduces the paper's motivation workflow for one application under a
+plain shared cache: per-thread performance, barrier slack, which thread
+owns the critical path section-by-section, and the inter-thread cache
+interaction profile.
+
+    python examples/critical_path_analysis.py [app]
+"""
+
+import sys
+
+from repro import SystemConfig, run_application
+from repro.experiments.reporting import format_series, format_table
+from repro.mathx.stats import pearson_correlation
+from repro.trace import list_workloads
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "mgrid"
+    if app not in list_workloads():
+        raise SystemExit(f"unknown app {app!r}; choose from: {', '.join(list_workloads())}")
+    config = SystemConfig.default()
+    r = run_application(app, "shared", config)
+
+    # --- per-thread summary -------------------------------------------
+    rows = []
+    hist = r.barriers.critical_thread_histogram()
+    slack = r.barriers.total_slack_per_thread()
+    for t in range(r.n_threads):
+        rows.append([
+            f"thread {t}",
+            f"{r.thread_cpi(t):.2f}",
+            r.l2_totals.misses[t],
+            f"{r.l1_hit_rate(t):.1%}",
+            hist[t],
+            f"{slack[t] / r.total_cycles:.1%}",
+        ])
+    print(format_table(
+        ["thread", "busy CPI", "L2 misses", "L1 hit rate",
+         "critical sections", "slack (frac of run)"],
+        rows,
+        title=f"{app} under an unpartitioned shared cache",
+    ))
+
+    crit = max(range(r.n_threads), key=r.thread_cpi)
+    print(f"\ncritical-path thread overall: thread {crit}")
+    corr = pearson_correlation(
+        r.cpi_series(crit), [float(m) for m in r.miss_series(crit)]
+    )
+    print(f"its CPI <-> L2-miss correlation across intervals: {corr:.3f} "
+          "(the paper reports ~0.97 on real benchmarks)")
+
+    # --- interactions --------------------------------------------------
+    print(f"\ninter-thread interactions: "
+          f"{r.inter_thread_share_of_all_accesses():.1%} of all cache accesses, "
+          f"{r.l2_totals.constructive_fraction():.1%} of them constructive")
+
+    # --- phases ---------------------------------------------------------
+    print()
+    print(format_series(f"{app} thread {crit} CPI per interval", r.cpi_series(crit)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Plug a custom partitioning policy into the runtime system.
+
+The policy interface is one method: ``on_interval(observation)`` returning
+new way targets or None.  This example implements "slowdown-proportional"
+partitioning — like the paper's CPI-proportional scheme but weighting each
+thread by the *square* of its CPI, over-serving the critical thread — and
+races it against the built-in policies on every workload.
+
+    python examples/custom_policy.py
+"""
+
+from repro import PartitioningPolicy, SystemConfig, run_application
+from repro.core.records import IntervalObservation
+from repro.experiments.reporting import format_table
+from repro.mathx import largest_remainder_apportion
+from repro.trace import list_workloads
+
+
+class SquaredCPIPolicy(PartitioningPolicy):
+    """Ways proportional to CPI^2: an aggressive critical-path booster."""
+
+    @property
+    def name(self) -> str:
+        return "squared-cpi"
+
+    def on_interval(self, obs: IntervalObservation):
+        weights = [c * c for c in obs.cpi]
+        return self._validate(
+            largest_remainder_apportion(weights, self.total_ways, minimum=self.min_ways)
+        )
+
+
+def main() -> None:
+    config = SystemConfig.default().with_(n_intervals=30)
+    apps = [a for a in list_workloads() if a in ("swim", "mgrid", "cg", "mg")]
+
+    rows = []
+    for app in apps:
+        shared = run_application(app, "shared", config)
+        custom = run_application(
+            app, SquaredCPIPolicy(config.n_threads, config.total_ways), config
+        )
+        cpi_prop = run_application(app, "cpi-proportional", config)
+        model = run_application(app, "model-based", config)
+        rows.append([
+            app,
+            f"{custom.speedup_over(shared):+.1%}",
+            f"{cpi_prop.speedup_over(shared):+.1%}",
+            f"{model.speedup_over(shared):+.1%}",
+        ])
+    print(format_table(
+        ["app", "squared-cpi (custom)", "cpi-proportional", "model-based"],
+        rows,
+        title="speedup over the shared cache",
+    ))
+    print("\nBlind CPI weighting (linear or squared) ignores cache sensitivity;"
+          "\nthe model-based scheme learns each thread's CPI-vs-ways curve and"
+          "\nonly moves capacity where it predicts the critical path improves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Define a custom multithreaded workload and see partitioning adapt.
+
+Builds a profile from scratch — one cache-hungry solver thread, a bursty
+transpose (streaming) thread, and two light helpers — runs it under the
+shared baseline and the dynamic scheme, and prints the way-partition
+trajectory so you can watch the runtime converge.
+
+    python examples/custom_workload.py
+"""
+
+from repro import SystemConfig, run_application
+from repro.experiments.reporting import format_table
+from repro.trace import PhaseSegment, ThreadBehavior, WorkloadProfile
+
+my_app = WorkloadProfile(
+    name="my-solver",
+    suite="NAS",
+    description="custom demo: solver + transpose + two helpers",
+    base_behaviors=(
+        # The solver: large reusable footprint, memory-hungry -> critical.
+        ThreadBehavior(ws_lines=300, skew=2.0, mem_ratio=0.42,
+                       share_frac=0.10, stream_frac=0.02),
+        # The transpose: line-stride streaming bursts that would trash a
+        # shared LRU cache, but are cheap for the thread itself.
+        ThreadBehavior(ws_lines=64, skew=2.5, mem_ratio=0.32,
+                       share_frac=0.05, stream_frac=0.20,
+                       stream_burst=1.0, stream_stride_words=8),
+        # Two light helpers with small footprints.
+        ThreadBehavior(ws_lines=90, skew=2.2, mem_ratio=0.30, share_frac=0.10),
+        ThreadBehavior(ws_lines=70, skew=2.2, mem_ratio=0.30, share_frac=0.10),
+    ),
+    phases=(
+        PhaseSegment(intervals=10, ws_scales=(1.0, 1.0, 1.0, 1.0)),
+        PhaseSegment(intervals=10, ws_scales=(1.3, 1.0, 0.8, 0.8)),
+    ),
+)
+
+
+def main() -> None:
+    config = SystemConfig.default()
+    shared = run_application(my_app, "shared", config)
+    dynamic = run_application(my_app, "model-based", config)
+
+    print(f"shared cache:        {shared.total_cycles / 1e6:8.2f}M cycles")
+    print(f"dynamic partitioning:{dynamic.total_cycles / 1e6:8.2f}M cycles "
+          f"({dynamic.speedup_over(shared):+.1%})\n")
+
+    rows = []
+    for rec in dynamic.intervals[:: max(1, len(dynamic.intervals) // 12)]:
+        obs = rec.observation
+        rows.append(
+            [obs.index]
+            + list(obs.targets)
+            + [f"{c:.2f}" for c in obs.cpi]
+        )
+    n = config.n_threads
+    print(format_table(
+        ["interval"] + [f"w{t}" for t in range(n)] + [f"cpi{t}" for t in range(n)],
+        rows,
+        title="way-partition trajectory (dynamic scheme)",
+    ))
+    print("\nw0 is the solver: the runtime steadily grows its share, paid "
+          "for by the helper threads, while the transpose thread's bursts "
+          "stay contained inside its own partition instead of flushing the "
+          "solver's lines as they do under global LRU.")
+
+
+if __name__ == "__main__":
+    main()

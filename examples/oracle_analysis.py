@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Offline miss-curve analysis and oracle partitions (repro.analysis).
+
+Profiles each thread of an application with Mattson stack distances (one
+pass yields the exact LRU miss count at *every* associativity), prints the
+miss curves, solves for the optimal static partition under both classic
+objectives, and races the informed static oracle against the paper's
+dynamic scheme.
+
+    python examples/oracle_analysis.py [app]
+"""
+
+import sys
+
+from repro import SystemConfig, run_application
+from repro.analysis import oracle_static_policy, oracle_static_targets, thread_miss_curves
+from repro.experiments.reporting import format_table
+from repro.sim.driver import prepare_program
+from repro.trace import list_workloads
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "cg"
+    if app not in list_workloads():
+        raise SystemExit(f"unknown app {app!r}; choose from: {', '.join(list_workloads())}")
+    config = SystemConfig.default().with_(n_intervals=30)
+
+    compiled = prepare_program(app, config)
+    curves = thread_miss_curves(compiled, config)
+    probe_ways = [2, 4, 8, 12, 16, 24, 32]
+    rows = [
+        [f"thread {t}"] + [int(curves[t][w]) for w in probe_ways]
+        for t in range(config.n_threads)
+    ]
+    print(format_table(
+        ["thread"] + [f"{w}w" for w in probe_ways],
+        rows,
+        title=f"{app}: exact L2 miss counts by allocated ways (Mattson, per thread)",
+    ))
+
+    t_total = oracle_static_targets(app, config, objective="total")
+    t_max = oracle_static_targets(app, config, objective="max")
+    print(f"\noptimal static partition, min total misses : {t_total}")
+    print(f"optimal static partition, min max CPI      : {t_max}")
+
+    oracle = run_application(app, oracle_static_policy(app, config), config)
+    dyn = run_application(app, "model-based", config)
+    equal = run_application(app, "static-equal", config)
+    print(f"\nstatic equal : {equal.total_cycles / 1e6:8.2f}M cycles")
+    print(f"oracle static: {oracle.total_cycles / 1e6:8.2f}M cycles "
+          f"({oracle.speedup_over(equal):+.1%} vs equal)")
+    print(f"dynamic      : {dyn.total_cycles / 1e6:8.2f}M cycles "
+          f"({dyn.speedup_over(oracle):+.1%} vs the oracle)")
+    print("\nThe oracle knows every miss curve exactly but must commit to one "
+          "partition;\nthe dynamic runtime knows nothing up front and adapts — "
+          "on phased workloads\nadaptivity beats perfect static information.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure from the paper in one run.
+
+    python examples/paper_figures.py [--quick] [fig3 fig20 ...]
+
+With no arguments, all experiments run on the default (calibrated)
+configuration; ``--quick`` switches to the small test configuration.
+Results print as ASCII tables/series and are also written as JSON to
+``paper_figures_out/``.
+"""
+
+import json
+import pathlib
+import sys
+
+from repro import SystemConfig
+from repro.experiments import EXPERIMENTS
+
+OUT_DIR = pathlib.Path("paper_figures_out")
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:]]
+    quick = "--quick" in args
+    names = [a for a in args if not a.startswith("--")] or list(EXPERIMENTS)
+
+    config = SystemConfig.quick() if quick else SystemConfig.default()
+    OUT_DIR.mkdir(exist_ok=True)
+
+    for name in names:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            raise SystemExit(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}")
+        cfg = config
+        if name == "fig22":
+            cfg = config.with_(n_threads=8)
+        print(f"=== {name} " + "=" * max(0, 66 - len(name)))
+        result = runner(cfg)
+        print(result.format())
+        print()
+        (OUT_DIR / f"{name}.json").write_text(json.dumps(result.to_dict(), indent=2))
+    print(f"JSON copies written to {OUT_DIR}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one application under every partitioning policy.
+
+Runs the SWIM-like workload on the default 4-core configuration and
+prints the wall-clock cycles and the speedup of the paper's dynamic
+model-based scheme over each baseline.
+
+    python examples/quickstart.py [app]
+"""
+
+import sys
+
+from repro import SystemConfig, run_application
+from repro.experiments.reporting import format_table
+from repro.trace import list_workloads
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    if app not in list_workloads():
+        raise SystemExit(f"unknown app {app!r}; choose from: {', '.join(list_workloads())}")
+
+    config = SystemConfig.default()
+    print(f"Simulating {app!r} on a {config.n_threads}-core CMP "
+          f"({config.l2_geometry.size_bytes // 1024} KB shared L2, "
+          f"{config.total_ways}-way)...\n")
+
+    policies = ["shared", "static-equal", "cpi-proportional", "throughput", "model-based"]
+    results = {p: run_application(app, p, config) for p in policies}
+    dynamic = results["model-based"]
+
+    rows = []
+    for p in policies:
+        r = results[p]
+        gain = "" if p == "model-based" else f"{dynamic.speedup_over(r):+.1%}"
+        rows.append([
+            p,
+            f"{r.total_cycles / 1e6:.2f}M",
+            " ".join(f"{r.thread_cpi(t):.2f}" for t in range(config.n_threads)),
+            gain,
+        ])
+    print(format_table(
+        ["policy", "cycles", "per-thread CPI", "model-based gain"],
+        rows,
+        title=f"{app}: policy comparison",
+    ))
+
+    final = dynamic.intervals[-1].observation
+    print(f"\nfinal way partition chosen by the runtime: {list(final.targets)}")
+    print(f"critical thread in the last interval: thread {final.critical_thread} "
+          f"(CPI {final.overall_cpi:.2f})")
+
+
+if __name__ == "__main__":
+    main()

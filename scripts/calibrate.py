@@ -1,0 +1,48 @@
+"""Calibration harness (dev tool): per-app, per-policy thread CPI summary.
+
+Run:  python scripts/calibrate.py [app ...]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import SystemConfig, run_application
+from repro.trace import list_workloads
+
+POLICIES = ["shared", "static-equal", "model-based", "throughput"]
+
+
+def main(apps):
+    cfg = SystemConfig.default()
+    t0 = time.time()
+    speedups = []
+    for app in apps:
+        results = {p: run_application(app, p, cfg) for p in POLICIES}
+        print(f"== {app} ==")
+        for p, r in results.items():
+            cpis = [round(r.thread_cpi(t), 2) for t in range(cfg.n_threads)]
+            print(f"  {p:<13} cycles={r.total_cycles/1e6:8.2f}M  cpi={cpis}")
+        rd = results["model-based"]
+        row = (
+            100 * rd.speedup_over(results["shared"]),
+            100 * rd.speedup_over(results["static-equal"]),
+            100 * rd.speedup_over(results["throughput"]),
+        )
+        speedups.append(row)
+        print("  dyn vs shared %+6.1f%%  vs static %+6.1f%%  vs tput %+6.1f%%" % row)
+        # show a few dynamic partitions
+        mids = rd.intervals[len(rd.intervals) // 2 :: 10]
+        for rec in mids[:3]:
+            o = rec.observation
+            print(f"    iv{o.index:3d} targets={o.targets} cpi={[round(c,1) for c in o.cpi]}")
+    a = np.array(speedups)
+    print("AVG  vs shared %+6.1f%%  vs static %+6.1f%%  vs tput %+6.1f%%" % tuple(a.mean(0)))
+    print("MAX  vs shared %+6.1f%%  vs static %+6.1f%%  vs tput %+6.1f%%" % tuple(a.max(0)))
+    print(f"elapsed {time.time()-t0:.1f}s")
+
+
+if __name__ == "__main__":
+    apps = sys.argv[1:] or list_workloads()
+    main(apps)

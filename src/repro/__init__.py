@@ -1,0 +1,73 @@
+"""repro — reproduction of "Intra-Application Cache Partitioning" (IPDPS 2010).
+
+A trace-driven chip-multiprocessor simulator plus the paper's dynamic,
+runtime-system-based scheme for partitioning a shared L2 cache among the
+threads of a single multithreaded application, speeding up the
+critical-path thread at each execution interval.
+
+Quick start::
+
+    from repro import SystemConfig, run_application
+
+    config = SystemConfig.default()
+    dynamic = run_application("swim", "model-based", config)
+    shared = run_application("swim", "shared", config)
+    print(f"speedup over shared cache: {dynamic.speedup_over(shared):+.1%}")
+
+Public surface:
+
+* :func:`repro.run_application` / :class:`repro.SystemConfig` — run the simulator.
+* :mod:`repro.partition` — all partitioning policies (``POLICY_REGISTRY``).
+* :mod:`repro.trace` — the nine synthetic workload profiles (``WORKLOADS``).
+* :mod:`repro.experiments` — one runner per paper figure/table.
+"""
+
+from repro.cache import CacheGeometry, PartitionedSharedCache, PrivateCache
+from repro.core import IntervalObservation, RunResult, RuntimeSystem, ThreadModelBank
+from repro.cpu import CMPEngine, TimingModel, compile_program
+from repro.partition import (
+    POLICY_REGISTRY,
+    CPIProportionalPolicy,
+    FairnessOrientedPolicy,
+    ModelBasedPolicy,
+    PartitioningPolicy,
+    SharedCachePolicy,
+    StaticEqualPolicy,
+    StaticPolicy,
+    ThroughputOrientedPolicy,
+)
+from repro.sim import SystemConfig, prepare_program, run_application
+from repro.trace import WORKLOADS, ThreadBehavior, WorkloadProfile, get_workload, list_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CMPEngine",
+    "CPIProportionalPolicy",
+    "CacheGeometry",
+    "FairnessOrientedPolicy",
+    "IntervalObservation",
+    "ModelBasedPolicy",
+    "POLICY_REGISTRY",
+    "PartitionedSharedCache",
+    "PartitioningPolicy",
+    "PrivateCache",
+    "RunResult",
+    "RuntimeSystem",
+    "SharedCachePolicy",
+    "StaticEqualPolicy",
+    "StaticPolicy",
+    "SystemConfig",
+    "ThreadBehavior",
+    "ThreadModelBank",
+    "ThroughputOrientedPolicy",
+    "TimingModel",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "__version__",
+    "compile_program",
+    "get_workload",
+    "list_workloads",
+    "prepare_program",
+    "run_application",
+]

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run        simulate one application under one policy
+compare    run all policies on one or more applications
+figure     regenerate a paper figure/table by id (fig3, fig20, ...)
+list       list workloads, policies and experiments
+
+Examples
+--------
+    python -m repro run swim --policy model-based
+    python -m repro compare swim cg --intervals 30
+    python -m repro figure fig20
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import EXPERIMENTS, speedup_table
+from repro.experiments.reporting import format_table
+from repro.partition import POLICY_REGISTRY
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_application
+from repro.trace.workloads import list_workloads
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Intra-application cache partitioning simulator (IPDPS 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_config_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--threads", type=int, default=4, help="number of cores/threads")
+        p.add_argument("--intervals", type=int, default=50, help="execution intervals")
+        p.add_argument(
+            "--interval-instructions", type=int, default=20_000,
+            help="instructions per thread per interval",
+        )
+        p.add_argument("--seed", type=int, default=1, help="workload seed")
+
+    p_run = sub.add_parser("run", help="simulate one application under one policy")
+    p_run.add_argument("app", help="workload name (see `repro list`)")
+    p_run.add_argument(
+        "--policy", default="model-based", choices=sorted(POLICY_REGISTRY),
+        help="partitioning policy",
+    )
+    p_run.add_argument("--json", action="store_true", help="emit the full result as JSON")
+    add_config_args(p_run)
+
+    p_cmp = sub.add_parser("compare", help="all policies side by side")
+    p_cmp.add_argument("apps", nargs="*", help="workloads (default: all nine)")
+    add_config_args(p_cmp)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p_fig.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
+    p_fig.add_argument("--json", action="store_true", help="emit JSON instead of ASCII")
+    add_config_args(p_fig)
+
+    sub.add_parser("list", help="list workloads, policies and experiments")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig.default().with_(
+        n_threads=args.threads,
+        n_intervals=args.intervals,
+        interval_instructions=args.interval_instructions,
+        seed=args.seed,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("workloads:  " + ", ".join(list_workloads()))
+        print("policies:   " + ", ".join(sorted(POLICY_REGISTRY)))
+        print("experiments:" + " " + ", ".join(EXPERIMENTS))
+        return 0
+
+    if args.command == "run":
+        config = _config(args)
+        result = run_application(args.app, args.policy, config)
+        if args.json:
+            json.dump(result.to_dict(), sys.stdout, indent=2)
+            print()
+            return 0
+        rows = [
+            [f"thread {t}", f"{result.thread_cpi(t):.2f}", result.l2_totals.misses[t],
+             f"{result.thread_stall_cycles[t] / result.total_cycles:.1%}"]
+            for t in range(result.n_threads)
+        ]
+        print(format_table(
+            ["thread", "busy CPI", "L2 misses", "slack"],
+            rows,
+            title=f"{args.app} under {args.policy}: {result.total_cycles / 1e6:.2f}M cycles",
+        ))
+        final = result.intervals[-1].observation if result.intervals else None
+        if final is not None:
+            print(f"\nfinal way partition: {list(final.targets)}")
+        return 0
+
+    if args.command == "compare":
+        config = _config(args)
+        apps = args.apps or list_workloads()
+        unknown = [a for a in apps if a not in list_workloads()]
+        if unknown:
+            print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        print(speedup_table(config, apps))
+        return 0
+
+    if args.command == "figure":
+        config = _config(args)
+        if args.name == "fig22" and config.n_threads < 8:
+            config = config.with_(n_threads=8)
+        result = EXPERIMENTS[args.name](config)
+        if args.json:
+            json.dump(result.to_dict(), sys.stdout, indent=2)
+            print()
+        else:
+            print(result.format())
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Offline trace analysis: stack distances, miss curves, oracle partitions.
+
+This package is the reproduction's measurement counterpart to the runtime
+system: where the runtime *learns* CPI-vs-ways curves online from interval
+observations, these tools compute exact LRU miss curves offline (Mattson's
+algorithm) and solve for provably optimal static partitions — the upper
+bounds the dynamic scheme is benchmarked against in
+``benchmarks/bench_ablation_oracle.py``.
+"""
+
+from repro.analysis.oracle import (
+    oracle_static_policy,
+    oracle_static_targets,
+    thread_miss_curves,
+)
+from repro.analysis.partition_opt import optimal_static_partition
+from repro.analysis.stackdist import lru_stack_distances, miss_curve, working_set_lines
+
+__all__ = [
+    "lru_stack_distances",
+    "miss_curve",
+    "optimal_static_partition",
+    "oracle_static_policy",
+    "oracle_static_targets",
+    "thread_miss_curves",
+    "working_set_lines",
+]

@@ -1,0 +1,109 @@
+"""Oracle static partitions for a workload.
+
+Combines the two halves of this package: profile each thread's L2 access
+stream with Mattson stack distances (the streams are policy-independent,
+so this is a legitimate offline oracle), convert the per-thread miss
+curves into cost curves, and solve for the exact optimal static partition.
+
+Two oracles are exposed:
+
+* ``objective="total"`` — the best a throughput-oriented scheme could
+  possibly do with perfect information;
+* ``objective="max"``  — the best *static* partition under the paper's
+  own critical-path objective, using a CPI estimate
+  ``cpi_t(w) ~ (busy base cycles + misses_t(w) * penalty) / instructions``.
+
+Caveat (documented, inherent to any per-thread oracle): the curves treat
+each thread's stream in isolation, so cross-thread effects on the shared
+region (a thread hitting on lines another thread inserted) are not
+modelled.  With the modest sharing fractions of the bundled workloads the
+approximation is tight enough for an informative upper-bound baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.partition_opt import optimal_static_partition
+from repro.analysis.stackdist import miss_curve
+from repro.cpu.streams import CompiledProgram
+from repro.partition.static import StaticPolicy
+from repro.sim.config import SystemConfig
+from repro.sim.driver import prepare_program
+from repro.trace.layout import STREAM_BASE_ADDRESS
+
+__all__ = ["oracle_static_policy", "oracle_static_targets", "thread_miss_curves"]
+
+
+def thread_miss_curves(compiled: CompiledProgram, config: SystemConfig) -> list[np.ndarray]:
+    """Exact per-thread L2 miss curves at 0..total_ways ways.
+
+    Streaming-region accesses are excluded from the profiled stream: they
+    miss at any realistic allocation (each line is touched once), so they
+    contribute a constant to every point of the curve and would otherwise
+    only blur the DP's signal; their constant cost is added back.
+    """
+    curves = []
+    for t in range(compiled.n_threads):
+        parts = [sec[t].addresses for sec in compiled.sections]
+        addrs = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        stream_mask = addrs >= STREAM_BASE_ADDRESS
+        cacheable = addrs[~stream_mask]
+        curve = miss_curve(cacheable, config.l2_geometry, config.total_ways).astype(
+            np.float64
+        )
+        curve += int(stream_mask.sum())
+        curves.append(curve)
+    return curves
+
+
+def oracle_static_targets(
+    app: str,
+    config: SystemConfig,
+    *,
+    objective: str = "max",
+) -> list[int]:
+    """Optimal static partition for ``app`` under the given objective."""
+    compiled = prepare_program(app, config)
+    curves = thread_miss_curves(compiled, config)
+    if objective == "max":
+        curves = _cpi_estimate_curves(compiled, curves, config)
+    return optimal_static_partition(
+        curves, config.total_ways, min_ways=config.min_ways, objective=objective
+    )
+
+
+def _cpi_estimate_curves(
+    compiled: CompiledProgram, miss_curves: list[np.ndarray], config: SystemConfig
+) -> list[np.ndarray]:
+    """Per-thread CPI estimates at each way count.
+
+    busy cycles ~ base work (known exactly from the compiled streams: the
+    d_cycles/tail_cycles already include L1 activity) + L2 hits at the hit
+    latency + misses at the memory latency.
+    """
+    timing = config.timing
+    out = []
+    for t in range(compiled.n_threads):
+        base_cycles = 0.0
+        instructions = 0
+        l2_accesses = 0
+        for sec in compiled.sections:
+            s = sec[t]
+            base_cycles += float(s.d_cycles.sum()) + s.tail_cycles
+            instructions += s.total_instructions
+            l2_accesses += s.n_l2_accesses
+        misses = miss_curves[t]
+        hits = l2_accesses - misses
+        cycles = base_cycles + hits * timing.l2_hit_cycles + misses * timing.mem_cycles
+        out.append(cycles / max(1, instructions))
+    return out
+
+
+def oracle_static_policy(
+    app: str, config: SystemConfig, *, objective: str = "max"
+) -> StaticPolicy:
+    """A :class:`StaticPolicy` pinned to the oracle partition — run it with
+    :func:`repro.sim.run_application` to get the oracle baseline."""
+    targets = oracle_static_targets(app, config, objective=objective)
+    return StaticPolicy(config.n_threads, config.total_ways, targets, min_ways=0)

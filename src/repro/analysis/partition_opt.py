@@ -1,0 +1,98 @@
+"""Optimal static way partitions from per-thread cost curves.
+
+Given per-thread curves ``cost_t[w]`` (cost of giving thread *t* exactly
+``w`` ways — e.g. a Mattson miss curve, or a CPI estimate derived from
+one), dynamic programming finds the exact optimal integer split of the
+way budget under either objective:
+
+* ``"total"`` — minimise ``sum_t cost_t[w_t]``: the throughput-oriented
+  oracle (what a perfect Suh-style scheme would pick).
+* ``"max"``   — minimise ``max_t cost_t[w_t]``: the paper's critical-path
+  objective, as an oracle.
+
+Both run in O(threads x ways^2), trivially fast at way counts that exist
+in hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["optimal_static_partition"]
+
+
+def optimal_static_partition(
+    cost_curves,
+    total_ways: int,
+    *,
+    min_ways: int = 1,
+    objective: str = "total",
+) -> list[int]:
+    """Exact optimal static partition for the given cost curves.
+
+    Parameters
+    ----------
+    cost_curves:
+        Sequence of per-thread arrays; ``cost_curves[t][w]`` is thread
+        *t*'s cost at ``w`` ways and must be defined for
+        ``w = 0..total_ways`` (index directly — no interpolation).
+    total_ways:
+        Way budget; the returned list sums to it exactly.
+    min_ways:
+        Per-thread floor.
+    objective:
+        ``"total"`` or ``"max"`` (see module docstring).
+
+    Ties are broken toward giving earlier threads fewer ways, making the
+    result deterministic.
+    """
+    curves = [np.asarray(c, dtype=np.float64) for c in cost_curves]
+    n = len(curves)
+    if n == 0:
+        raise ValueError("need at least one cost curve")
+    for t, c in enumerate(curves):
+        if c.ndim != 1 or c.size < total_ways + 1:
+            raise ValueError(
+                f"curve {t} must cover 0..{total_ways} ways, got length {c.size}"
+            )
+        if not np.all(np.isfinite(c)):
+            raise ValueError(f"curve {t} contains non-finite values")
+    if total_ways < min_ways * n:
+        raise ValueError(f"{total_ways} ways cannot give {n} threads {min_ways} each")
+    if objective not in ("total", "max"):
+        raise ValueError(f"unknown objective {objective!r}")
+
+    combine = (lambda a, b: a + b) if objective == "total" else max
+
+    # f[t][w] = best objective using threads 0..t with w ways in total;
+    # choice[t][w] = ways given to thread t in that optimum.
+    INF = float("inf")
+    f = np.full((n, total_ways + 1), INF)
+    choice = np.zeros((n, total_ways + 1), dtype=np.int64)
+    for w in range(min_ways, total_ways + 1):
+        f[0][w] = float(curves[0][w])
+        choice[0][w] = w
+    for t in range(1, n):
+        for w in range(min_ways * (t + 1), total_ways + 1):
+            best, best_k = INF, -1
+            for k in range(min_ways, w - min_ways * t + 1):
+                prev = f[t - 1][w - k]
+                if prev == INF:
+                    continue
+                val = combine(prev, float(curves[t][k]))
+                if val < best:
+                    best, best_k = val, k
+            f[t][w] = best
+            choice[t][w] = best_k
+
+    if f[n - 1][total_ways] == INF:
+        raise ValueError("no feasible partition (check min_ways)")
+
+    # Walk the choices back.
+    out = [0] * n
+    w = total_ways
+    for t in range(n - 1, -1, -1):
+        out[t] = int(choice[t][w])
+        w -= out[t]
+    assert sum(out) == total_ways
+    return out

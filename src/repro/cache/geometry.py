@@ -1,0 +1,88 @@
+"""Cache geometry: sizes, set indexing and tag extraction.
+
+All caches in the simulator are physically-indexed set-associative caches
+described by a :class:`CacheGeometry`.  Addresses are byte addresses; the
+geometry turns them into ``(set index, tag)`` pairs.  Way *partitioning*
+never changes the geometry — the paper's mechanism (Section V) only changes
+which line is chosen as the replacement victim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheGeometry"]
+
+
+def _is_pow2(v: int) -> bool:
+    return v > 0 and (v & (v - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of a set-associative cache.
+
+    Parameters
+    ----------
+    sets:
+        Number of cache sets (power of two).
+    ways:
+        Associativity.  The shared L2 in the paper is highly associative
+        (64-way at 1 MB; its worked example in Fig. 15 uses 32 ways, which
+        is our scaled default).
+    line_bytes:
+        Cache line size in bytes (power of two).
+    """
+
+    sets: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.sets):
+            raise ValueError(f"sets must be a power of two, got {self.sets}")
+        if self.ways < 1:
+            raise ValueError(f"ways must be >= 1, got {self.ways}")
+        if not _is_pow2(self.line_bytes):
+            raise ValueError(f"line_bytes must be a power of two, got {self.line_bytes}")
+
+    @classmethod
+    def from_size(cls, size_bytes: int, ways: int, line_bytes: int = 64) -> "CacheGeometry":
+        """Build a geometry from a total capacity, mirroring the paper's
+        "increase cache size by adding ways" convention when ``ways`` grows
+        at fixed ``sets``."""
+        lines = size_bytes // line_bytes
+        if lines * line_bytes != size_bytes:
+            raise ValueError("size_bytes must be a multiple of line_bytes")
+        if lines % ways != 0:
+            raise ValueError(f"{size_bytes} bytes / {line_bytes}B lines not divisible by {ways} ways")
+        return cls(sets=lines // ways, ways=ways, line_bytes=line_bytes)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.sets * self.ways * self.line_bytes
+
+    @property
+    def offset_bits(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+    @property
+    def index_bits(self) -> int:
+        return self.sets.bit_length() - 1
+
+    def set_index(self, addr: int) -> int:
+        """Set index of a byte address."""
+        return (addr >> self.offset_bits) & (self.sets - 1)
+
+    def tag(self, addr: int) -> int:
+        """Tag of a byte address (includes nothing below the index bits)."""
+        return addr >> (self.offset_bits + self.index_bits)
+
+    def line_address(self, addr: int) -> int:
+        """Byte address of the start of the line containing ``addr``."""
+        return addr & ~(self.line_bytes - 1)
+
+    def way_bytes(self) -> int:
+        """Capacity contributed by one way (sets * line size): the unit of
+        allocation when partitioning by ways."""
+        return self.sets * self.line_bytes

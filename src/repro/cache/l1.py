@@ -1,0 +1,76 @@
+"""Private L1 caches.
+
+Each core has a private L1 (8 KB, 4-way in the paper's configuration).  Two
+interfaces are provided:
+
+* :class:`PrivateCache` — a per-access object API (a single-sharer
+  unpartitioned cache), used by tests, examples and any caller that wants
+  classic ``access(addr) -> hit`` semantics.
+
+* :func:`simulate_l1_filter` — a batch API that runs a whole address trace
+  through an LRU L1 and returns the hit mask as a NumPy array.  Because the
+  L1 is private, its behaviour is independent of anything the shared-L2
+  partitioning scheme does, so each thread's trace can be filtered **once**
+  and the resulting L2 access stream reused across every policy under
+  comparison.  This is the single biggest performance lever in the whole
+  simulator and is why this function exists separately from the object API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.shared import PartitionedSharedCache
+
+__all__ = ["PrivateCache", "simulate_l1_filter"]
+
+
+class PrivateCache(PartitionedSharedCache):
+    """A private (single-sharer) set-associative LRU cache."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        super().__init__(geometry, n_threads=1, enforce_partition=False)
+
+    def access(self, addr: int, thread: int = 0) -> bool:  # type: ignore[override]
+        # Argument order flipped relative to the shared cache on purpose:
+        # a private cache has exactly one client.
+        return super().access(0, addr)
+
+
+def simulate_l1_filter(addrs: np.ndarray, geometry: CacheGeometry) -> np.ndarray:
+    """Run ``addrs`` through an LRU cache; return a boolean hit mask.
+
+    The loop is plain Python by necessity (LRU state is a sequential
+    dependence), but the per-set state is a short MRU-ordered list of tags,
+    so each iteration is a handful of C-level list operations.  For the
+    default 4-way L1 this processes roughly a million accesses per second.
+    """
+    addrs = np.asarray(addrs)
+    if addrs.ndim != 1:
+        raise ValueError("addrs must be 1-D")
+    offset_bits = geometry.offset_bits
+    index_mask = geometry.sets - 1
+    tag_shift = offset_bits + geometry.index_bits
+    ways = geometry.ways
+
+    mru: list[list[int]] = [[] for _ in range(geometry.sets)]
+    hits = np.zeros(addrs.size, dtype=bool)
+
+    # Bind hot names locally; convert once to a Python list of ints (NumPy
+    # scalar extraction inside the loop is several times slower).
+    addr_list = addrs.tolist()
+    for i, addr in enumerate(addr_list):
+        s = (addr >> offset_bits) & index_mask
+        tag = addr >> tag_shift
+        row = mru[s]
+        if tag in row:
+            if row[0] != tag:
+                row.remove(tag)
+                row.insert(0, tag)
+            hits[i] = True
+        else:
+            row.insert(0, tag)
+            if len(row) > ways:
+                row.pop()
+    return hits

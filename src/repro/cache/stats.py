@@ -1,0 +1,140 @@
+"""Per-thread cache statistics, including inter-thread interaction tracking.
+
+The runtime system (paper Fig. 17, "Cache/CPI monitor") reads hardware
+counters at each interval boundary.  :class:`CacheStats` plays the role of
+those counters, and additionally classifies *inter-thread interactions* the
+way Section IV-A2 of the paper defines them:
+
+* an access is an **inter-thread interaction** when the previous access to
+  the same cache line came from a different thread;
+* a **constructive** interaction is an inter-thread interaction that hits
+  (data brought in by one thread is reused by another before eviction);
+* a **destructive** interaction is an inter-thread *eviction* — a thread
+  evicts a line whose most recent accessor was a different thread.
+
+Interactions are counted over *all* accesses, not just misses, matching the
+paper's Figure 8 definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats", "StatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable copy of the counters, for interval-delta arithmetic."""
+
+    accesses: tuple[int, ...]
+    hits: tuple[int, ...]
+    misses: tuple[int, ...]
+    evictions: tuple[int, ...]
+    inter_thread_hits: tuple[int, ...]
+    inter_thread_evictions: tuple[int, ...]
+    intra_thread_hits: tuple[int, ...]
+
+    def minus(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
+        """Counter delta ``self - earlier`` (both from the same cache)."""
+
+        def sub(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+            return tuple(x - y for x, y in zip(a, b, strict=True))
+
+        return StatsSnapshot(
+            accesses=sub(self.accesses, earlier.accesses),
+            hits=sub(self.hits, earlier.hits),
+            misses=sub(self.misses, earlier.misses),
+            evictions=sub(self.evictions, earlier.evictions),
+            inter_thread_hits=sub(self.inter_thread_hits, earlier.inter_thread_hits),
+            inter_thread_evictions=sub(self.inter_thread_evictions, earlier.inter_thread_evictions),
+            intra_thread_hits=sub(self.intra_thread_hits, earlier.intra_thread_hits),
+        )
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.accesses)
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses)
+
+    def miss_rate(self, thread: int | None = None) -> float:
+        """Miss rate for one thread, or globally when ``thread`` is None."""
+        if thread is None:
+            acc, mis = self.total_accesses, self.total_misses
+        else:
+            acc, mis = self.accesses[thread], self.misses[thread]
+        return mis / acc if acc else 0.0
+
+    def inter_thread_fraction(self) -> float:
+        """Fraction of all accesses that are inter-thread interactions
+        (constructive hits plus destructive evictions), per Figure 8."""
+        total = self.total_accesses
+        if total == 0:
+            return 0.0
+        inter = sum(self.inter_thread_hits) + sum(self.inter_thread_evictions)
+        return inter / total
+
+    def constructive_fraction(self) -> float:
+        """Constructive share of inter-thread interactions, per Figure 9."""
+        cons = sum(self.inter_thread_hits)
+        dest = sum(self.inter_thread_evictions)
+        if cons + dest == 0:
+            return 0.0
+        return cons / (cons + dest)
+
+
+class CacheStats:
+    """Mutable per-thread counters updated on the cache's hot path.
+
+    Plain Python ``int`` lists are deliberate: single-element updates to
+    NumPy arrays are several times slower than list indexing, and this code
+    runs once per cache access.
+    """
+
+    __slots__ = (
+        "n_threads",
+        "accesses",
+        "hits",
+        "misses",
+        "evictions",
+        "inter_thread_hits",
+        "inter_thread_evictions",
+        "intra_thread_hits",
+    )
+
+    def __init__(self, n_threads: int) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self.n_threads = n_threads
+        self.accesses = [0] * n_threads
+        self.hits = [0] * n_threads
+        self.misses = [0] * n_threads
+        self.evictions = [0] * n_threads
+        self.inter_thread_hits = [0] * n_threads
+        self.inter_thread_evictions = [0] * n_threads
+        self.intra_thread_hits = [0] * n_threads
+
+    def snapshot(self) -> StatsSnapshot:
+        return StatsSnapshot(
+            accesses=tuple(self.accesses),
+            hits=tuple(self.hits),
+            misses=tuple(self.misses),
+            evictions=tuple(self.evictions),
+            inter_thread_hits=tuple(self.inter_thread_hits),
+            inter_thread_evictions=tuple(self.inter_thread_evictions),
+            intra_thread_hits=tuple(self.intra_thread_hits),
+        )
+
+    def reset(self) -> None:
+        for name in (
+            "accesses",
+            "hits",
+            "misses",
+            "evictions",
+            "inter_thread_hits",
+            "inter_thread_evictions",
+            "intra_thread_hits",
+        ):
+            setattr(self, name, [0] * self.n_threads)

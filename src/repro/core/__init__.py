@@ -1,0 +1,14 @@
+"""The paper's primary contribution: the intra-application partitioning runtime."""
+
+from repro.core.models import ThreadModelBank
+from repro.core.records import IntervalObservation, IntervalRecord, RunResult
+from repro.core.runtime import PartitionDecision, RuntimeSystem
+
+__all__ = [
+    "IntervalObservation",
+    "IntervalRecord",
+    "PartitionDecision",
+    "RunResult",
+    "RuntimeSystem",
+    "ThreadModelBank",
+]

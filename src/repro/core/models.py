@@ -1,0 +1,170 @@
+"""Runtime per-thread performance models (paper Section VI-B, Fig. 15).
+
+The partition engine maintains, for every thread, a model of some metric
+(CPI for the paper's scheme, misses-per-kilo-instruction for the
+throughput baseline) as a function of the number of cache ways assigned.
+Data points accumulate as the runtime observes the thread at different way
+counts; a cubic spline (degenerating gracefully to linear/constant with
+few points) interpolates between them.
+
+Three refinements keep the models honest under a dynamic runtime:
+
+* **EWMA cells** — applications move through phases (paper Figs. 6-7), so
+  each ``(thread, ways)`` cell holds an exponentially-weighted moving
+  average rather than raw history: new observations fold in with weight
+  ``alpha`` and the models track the current phase.
+* **Monotonisation** — the true metric-vs-ways curve is non-increasing
+  (LRU inclusion property); a single pessimistic sample taken during a
+  partition transient would otherwise make the model claim that more ways
+  *hurt*, permanently blocking the optimiser from feeding that thread.
+  Knots are projected onto the nearest non-increasing sequence (PAVA)
+  before fitting.
+* **Aging** — a cell that has not been re-observed for ``max_age``
+  observations of its thread describes an old phase (or an old
+  thread-to-core mapping, see the migration experiment); stale cells are
+  dropped from the fit while at least two fresh knots remain.
+* **Linear extrapolation with a floor** — outside the observed way range
+  the end tangent keeps its slope, so the optimiser can *predict*
+  improvement at way counts it has never tried; the next interval's
+  observation corrects the model.  This is the exploration mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mathx.isotonic import isotonic_nonincreasing
+from repro.mathx.pchip import PchipSpline1D
+from repro.mathx.spline import fit_cpi_model
+
+__all__ = ["ThreadModelBank"]
+
+
+class ThreadModelBank:
+    """Per-thread metric-vs-ways models with EWMA updating."""
+
+    def __init__(
+        self,
+        n_threads: int,
+        *,
+        alpha: float = 0.5,
+        extrapolation: str = "linear",
+        floor: float = 0.0,
+        monotone: bool = True,
+        max_age: int | None = 12,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if max_age is not None and max_age < 1:
+            raise ValueError("max_age must be >= 1 (or None to disable aging)")
+        self.n_threads = n_threads
+        self.alpha = alpha
+        self.extrapolation = extrapolation
+        self.floor = float(floor)
+        self.monotone = monotone
+        self.max_age = max_age
+        # _cells[t] maps ways -> (EWMA value, tick of last update).
+        self._cells: list[dict[int, tuple[float, int]]] = [dict() for _ in range(n_threads)]
+        self._ticks = [0] * n_threads
+        self._models: list | None = None
+
+    def observe(self, thread: int, ways: int, value: float) -> None:
+        """Fold one interval's observation into the bank."""
+        if not 0 <= thread < self.n_threads:
+            raise IndexError(f"thread {thread} out of range")
+        if ways < 0:
+            raise ValueError("ways must be >= 0")
+        if not np.isfinite(value) or value < 0:
+            raise ValueError(f"metric value must be finite and non-negative, got {value}")
+        self._ticks[thread] += 1
+        cell = self._cells[thread]
+        old = cell.get(ways)
+        if old is None:
+            cell[ways] = (float(value), self._ticks[thread])
+        else:
+            cell[ways] = (old[0] + self.alpha * (value - old[0]), self._ticks[thread])
+        self._models = None  # invalidate fitted models
+
+    def n_distinct(self, thread: int) -> int:
+        """Number of distinct way counts observed for ``thread`` (before
+        age filtering)."""
+        return len(self._cells[thread])
+
+    def points(self, thread: int) -> tuple[np.ndarray, np.ndarray]:
+        """The (ways, value) knots currently backing the thread's model.
+
+        Applies aging (stale cells dropped while >= 2 fresh remain) and,
+        when enabled, the non-increasing projection.
+        """
+        cell = self._cells[thread]
+        items = sorted(cell.items())
+        if self.max_age is not None and items:
+            now = self._ticks[thread]
+            fresh = [(w, v) for w, v in items if now - v[1] <= self.max_age]
+            if len(fresh) >= 2:
+                items = fresh
+            else:
+                # Keep the most recently updated knots so the model always
+                # has something to stand on.
+                items = sorted(
+                    sorted(items, key=lambda kv: kv[1][1], reverse=True)[:2]
+                )
+        ways = np.array([w for w, _ in items], dtype=np.float64)
+        vals = np.array([v[0] for _, v in items], dtype=np.float64)
+        if self.monotone and vals.size > 1:
+            vals = isotonic_nonincreasing(vals)
+        return ways, vals
+
+    def model(self, thread: int):
+        """Fitted model for one thread (callable: ways -> metric).
+
+        Fitting is lazy per thread, so threads without observations only
+        raise when *their* model is requested.
+        """
+        if self._models is None:
+            self._models = [None] * self.n_threads
+        if self._models[thread] is None:
+            self._models[thread] = self._fit(thread)
+        return self._models[thread]
+
+    def _fit(self, thread: int):
+        ways, vals = self.points(thread)
+        if ways.size == 0:
+            raise ValueError(f"no observations for thread {thread}")
+        if self.monotone and ways.size >= 3:
+            # The knots are non-increasing (PAVA in points()); a monotone
+            # interpolant keeps the curve non-increasing *between* knots
+            # too, where a natural cubic spline would overshoot.
+            fitted = PchipSpline1D(ways, vals, extrapolation=self.extrapolation)
+        else:
+            fitted = fit_cpi_model(ways, vals, extrapolation=self.extrapolation)
+        if self.extrapolation != "linear":
+            return fitted
+        # See the module docstring: the floor stops a steep tangent from
+        # predicting negative metric values during exploration.
+        floor = self.floor
+
+        def clipped(q, _f=fitted, _floor=floor):
+            out = _f(q)
+            if np.isscalar(out) or np.ndim(out) == 0:
+                return out if out > _floor else _floor
+            return np.maximum(out, _floor)
+
+        clipped.knots = fitted.knots  # type: ignore[attr-defined]
+        return clipped
+
+    def predict(self, ways_vector) -> np.ndarray:
+        """Predicted metric for every thread at the given way assignment."""
+        ways_vector = list(ways_vector)
+        if len(ways_vector) != self.n_threads:
+            raise ValueError(f"need {self.n_threads} way counts, got {len(ways_vector)}")
+        return np.array(
+            [float(self.model(t)(float(ways_vector[t]))) for t in range(self.n_threads)]
+        )
+
+    def reset(self) -> None:
+        self._cells = [dict() for _ in range(self.n_threads)]
+        self._ticks = [0] * self.n_threads
+        self._models = None

@@ -1,0 +1,164 @@
+"""Interval observations and run results.
+
+These are the data structures exchanged between the execution engine, the
+runtime system (the paper's Fig. 17 "Cache/CPI monitor → Partition Engine →
+Configuration Unit" loop) and the experiment harness.  They deliberately
+live outside both the `cpu` and `partition` packages so neither needs to
+import the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.stats import StatsSnapshot
+from repro.sync.barrier import BarrierLog
+
+__all__ = ["IntervalObservation", "IntervalRecord", "RunResult"]
+
+
+@dataclass(frozen=True)
+class IntervalObservation:
+    """What the runtime's monitor reads at one interval boundary.
+
+    ``cpi`` is the *busy* CPI — cycles spent executing (including the
+    thread's own memory latency) divided by instructions retired, with
+    barrier stall cycles excluded.  Stall time is an effect of the slack we
+    are trying to remove, not a property of the thread's own progress, so
+    feeding it back into the partitioning signal would mark the *fastest*
+    thread (which waits longest) as slow.
+    """
+
+    index: int
+    cpi: tuple[float, ...]
+    instructions: tuple[int, ...]
+    busy_cycles: tuple[float, ...]
+    targets: tuple[int, ...]
+    l2: StatsSnapshot
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.cpi)
+
+    @property
+    def critical_thread(self) -> int:
+        """Thread with the highest CPI in this interval."""
+        return max(range(len(self.cpi)), key=lambda t: self.cpi[t])
+
+    @property
+    def overall_cpi(self) -> float:
+        """Application CPI for the interval: max over threads, matching the
+        paper's ``CPI_overall = max(CPI_t)`` objective."""
+        return max(self.cpi)
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """An observation plus the partition decision it triggered."""
+
+    observation: IntervalObservation
+    new_targets: tuple[int, ...] | None
+
+    @property
+    def index(self) -> int:
+        return self.observation.index
+
+
+@dataclass
+class RunResult:
+    """Complete outcome of simulating one application under one policy."""
+
+    app: str
+    policy: str
+    n_threads: int
+    total_cycles: float
+    thread_instructions: tuple[int, ...]
+    thread_busy_cycles: tuple[float, ...]
+    thread_stall_cycles: tuple[float, ...]
+    l2_totals: StatsSnapshot
+    thread_l1_accesses: tuple[int, ...] = ()
+    thread_l1_hits: tuple[int, ...] = ()
+    intervals: list[IntervalRecord] = field(default_factory=list)
+    barriers: BarrierLog | None = None
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.thread_instructions)
+
+    @property
+    def performance(self) -> float:
+        """Application performance = 1 / execution time (paper Fig. 3)."""
+        return 1.0 / self.total_cycles if self.total_cycles > 0 else 0.0
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Fractional improvement of this run over ``baseline``:
+        0.10 means 10 % faster (baseline takes 10 % more cycles)."""
+        if self.total_cycles <= 0:
+            raise ValueError("run has no cycles")
+        return baseline.total_cycles / self.total_cycles - 1.0
+
+    @property
+    def total_memory_accesses(self) -> int:
+        """All cache accesses (every memory operation probes its L1)."""
+        return sum(self.thread_l1_accesses)
+
+    def l1_hit_rate(self, thread: int | None = None) -> float:
+        if thread is None:
+            acc, hit = sum(self.thread_l1_accesses), sum(self.thread_l1_hits)
+        else:
+            acc, hit = self.thread_l1_accesses[thread], self.thread_l1_hits[thread]
+        return hit / acc if acc else 0.0
+
+    def inter_thread_share_of_all_accesses(self) -> float:
+        """Inter-thread interactions as a share of *all* cache accesses
+        (the paper's Fig. 8 metric).  Interactions only occur at the shared
+        L2, but the paper normalises over every cache access the threads
+        make, so the private-L1 traffic is in the denominator."""
+        total = self.total_memory_accesses
+        if total == 0:
+            return 0.0
+        inter = sum(self.l2_totals.inter_thread_hits) + sum(
+            self.l2_totals.inter_thread_evictions
+        )
+        return inter / total
+
+    def thread_cpi(self, thread: int) -> float:
+        instr = self.thread_instructions[thread]
+        return self.thread_busy_cycles[thread] / instr if instr else 0.0
+
+    def cpi_series(self, thread: int) -> list[float]:
+        """Per-interval CPI of one thread (paper Fig. 6)."""
+        return [rec.observation.cpi[thread] for rec in self.intervals]
+
+    def miss_series(self, thread: int) -> list[int]:
+        """Per-interval L2 miss count of one thread (paper Fig. 7)."""
+        return [rec.observation.l2.misses[thread] for rec in self.intervals]
+
+    def targets_series(self) -> list[tuple[int, ...]]:
+        """Targets in effect during each interval (paper Fig. 18)."""
+        return [rec.observation.targets for rec in self.intervals]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (per-interval data included)."""
+        return {
+            "app": self.app,
+            "policy": self.policy,
+            "n_threads": self.n_threads,
+            "total_cycles": self.total_cycles,
+            "total_instructions": self.total_instructions,
+            "thread_instructions": list(self.thread_instructions),
+            "thread_busy_cycles": list(self.thread_busy_cycles),
+            "thread_stall_cycles": list(self.thread_stall_cycles),
+            "intervals": [
+                {
+                    "index": rec.observation.index,
+                    "cpi": list(rec.observation.cpi),
+                    "instructions": list(rec.observation.instructions),
+                    "targets": list(rec.observation.targets),
+                    "misses": list(rec.observation.l2.misses),
+                    "accesses": list(rec.observation.l2.accesses),
+                    "new_targets": list(rec.new_targets) if rec.new_targets else None,
+                }
+                for rec in self.intervals
+            ],
+        }

@@ -1,0 +1,93 @@
+"""The runtime system (paper §VI-C, Figs. 16-17).
+
+The paper envisions a hierarchical arrangement: the OS hands each
+application a cache allocation, and a *runtime system* inside the
+application partitions that allocation among the application's threads.
+:class:`RuntimeSystem` is that middle layer.  It has the paper's three
+components:
+
+* the **Cache/CPI monitor** — receives the per-interval counter deltas
+  (the engine plays the role of the hardware performance counters);
+* the **Partition Engine** — the pluggable
+  :class:`~repro.partition.base.PartitioningPolicy`;
+* the **Configuration Unit** — validates the decision and hands it back to
+  the engine, which applies it to the cache hardware.
+
+It also keeps an audit log of every decision, which the snapshot
+experiment (paper Fig. 18) and the overhead accounting read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import IntervalObservation
+from repro.partition.base import PartitioningPolicy
+
+__all__ = ["PartitionDecision", "RuntimeSystem"]
+
+
+@dataclass(frozen=True)
+class PartitionDecision:
+    """One entry of the runtime's audit log."""
+
+    interval_index: int
+    observed_cpi: tuple[float, ...]
+    previous_targets: tuple[int, ...]
+    new_targets: tuple[int, ...]
+
+    @property
+    def changed(self) -> bool:
+        return self.previous_targets != self.new_targets
+
+
+class RuntimeSystem:
+    """Monitor -> partition engine -> configuration unit, per interval."""
+
+    def __init__(self, policy: PartitioningPolicy) -> None:
+        self.policy = policy
+        self.decisions: list[PartitionDecision] = []
+        self.invocations = 0
+
+    @property
+    def name(self) -> str:
+        return self.policy.name
+
+    @property
+    def enforce_partition(self) -> bool:
+        return self.policy.enforce_partition
+
+    def initial_targets(self) -> list[int]:
+        return self.policy.initial_targets()
+
+    def on_interval(self, obs: IntervalObservation) -> list[int] | None:
+        """Called by the engine at each interval boundary."""
+        self.invocations += 1
+        targets = self.policy.on_interval(obs)
+        if targets is None:
+            return None
+        targets = [int(w) for w in targets]
+        if len(targets) != len(obs.targets) or sum(targets) != sum(obs.targets):
+            raise ValueError(
+                f"policy {self.name!r} returned invalid targets {targets} "
+                f"for previous assignment {obs.targets}"
+            )
+        self.decisions.append(
+            PartitionDecision(
+                interval_index=obs.index,
+                observed_cpi=obs.cpi,
+                previous_targets=obs.targets,
+                new_targets=tuple(targets),
+            )
+        )
+        return targets
+
+    @property
+    def reconfigurations(self) -> int:
+        """Decisions that actually changed the partition."""
+        return sum(1 for d in self.decisions if d.changed)
+
+    def reset(self) -> None:
+        self.policy.reset()
+        self.decisions.clear()
+        self.invocations = 0

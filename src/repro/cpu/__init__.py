@@ -1,0 +1,14 @@
+"""CMP timing model and event-driven execution engine."""
+
+from repro.cpu.engine import CMPEngine
+from repro.cpu.streams import CompiledProgram, L2Stream, compile_program, compile_thread_work
+from repro.cpu.timing import TimingModel
+
+__all__ = [
+    "CMPEngine",
+    "CompiledProgram",
+    "L2Stream",
+    "TimingModel",
+    "compile_program",
+    "compile_thread_work",
+]

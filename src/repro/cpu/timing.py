@@ -1,0 +1,51 @@
+"""Core timing model.
+
+A deliberately simple in-order model, sufficient for the paper's
+mechanism: what the partitioning runtime needs is a CPI signal that
+responds to L2 hit rate, and that is exactly what this model produces.
+
+Per instruction: ``base_cpi`` cycles.  Per memory operation, additionally:
+``l1_hit_cycles`` for the L1 lookup; an L1 miss then pays ``l2_hit_cycles``
+on an L2 hit or ``mem_cycles`` on an L2 miss — except misses to a
+*streaming* region, which pay ``stream_miss_cycles``.  Sequential misses
+are covered by hardware stream prefetchers and overlap with execution, so
+their exposed latency is a fraction of an irregular miss's; this asymmetry
+(cheap polluting misses vs expensive critical-thread misses) is what lets
+a streaming thread degrade a shared LRU cache without being slow itself.
+The runtime system costs ``partition_overhead_cycles`` per invocation on
+every core (the paper reports its runtime overhead at under 1.5 % and
+includes it in all results; we do the same).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimingModel"]
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    base_cpi: float = 1.0
+    l1_hit_cycles: float = 1.0
+    l2_hit_cycles: float = 10.0
+    mem_cycles: float = 40.0
+    stream_miss_cycles: float = 15.0
+    partition_overhead_cycles: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        for name in (
+            "l1_hit_cycles",
+            "l2_hit_cycles",
+            "mem_cycles",
+            "stream_miss_cycles",
+            "partition_overhead_cycles",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not self.l1_hit_cycles <= self.l2_hit_cycles <= self.mem_cycles:
+            raise ValueError("expected l1_hit_cycles <= l2_hit_cycles <= mem_cycles")
+        if not self.l2_hit_cycles <= self.stream_miss_cycles <= self.mem_cycles:
+            raise ValueError("expected l2_hit_cycles <= stream_miss_cycles <= mem_cycles")

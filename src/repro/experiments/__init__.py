@@ -1,0 +1,69 @@
+"""Experiment harness: one runner per table and figure in the paper.
+
+Every runner takes an optional :class:`~repro.sim.SystemConfig` and
+returns a result object with ``format()`` (terminal rendering) and
+``to_dict()`` (serialisation).  See ``EXPERIMENTS`` for the id -> runner
+map and DESIGN.md §4 for the per-experiment index.
+"""
+
+from repro.experiments.ablation import (
+    ablation_cpi_vs_model,
+    ablation_fitting,
+    ablation_interval_length,
+    ablation_termination_rule,
+)
+from repro.experiments.comparison import (
+    fig19_vs_private,
+    fig20_vs_shared,
+    fig21_vs_throughput,
+    fig22_eight_core,
+    speedup_table,
+)
+from repro.experiments.config_fig import fig2_system_configuration
+from repro.experiments.interaction import (
+    fig8_interaction_fraction,
+    fig9_interaction_breakdown,
+)
+from repro.experiments.migration import migration_resilience
+from repro.experiments.models_fig import fig15_runtime_models
+from repro.experiments.motivation import (
+    fig3_performance_variability,
+    fig4_miss_variability,
+    fig5_cpi_miss_correlation,
+    fig6_swim_cpi_phases,
+    fig7_swim_miss_phases,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.runner import clear_result_cache, get_result
+from repro.experiments.sensitivity import cpi_vs_ways_curve, fig10_way_sensitivity
+from repro.experiments.snapshot import fig18_partition_snapshot
+
+__all__ = [
+    "EXPERIMENTS",
+    "ablation_cpi_vs_model",
+    "ablation_fitting",
+    "ablation_interval_length",
+    "ablation_termination_rule",
+    "clear_result_cache",
+    "cpi_vs_ways_curve",
+    "fig10_way_sensitivity",
+    "fig15_runtime_models",
+    "fig18_partition_snapshot",
+    "fig19_vs_private",
+    "fig20_vs_shared",
+    "fig21_vs_throughput",
+    "fig22_eight_core",
+    "fig2_system_configuration",
+    "fig3_performance_variability",
+    "fig4_miss_variability",
+    "fig5_cpi_miss_correlation",
+    "fig6_swim_cpi_phases",
+    "fig7_swim_miss_phases",
+    "fig8_interaction_fraction",
+    "fig9_interaction_breakdown",
+    "get_experiment",
+    "get_result",
+    "list_experiments",
+    "migration_resilience",
+    "speedup_table",
+]

@@ -1,0 +1,92 @@
+"""Inter-thread cache interaction experiments: paper Figures 8-9 (§IV-A2).
+
+An access is an *inter-thread interaction* when the previous access to the
+same cache line came from a different thread; interactions split into
+constructive (cross-thread hits — data sharing paying off) and destructive
+(cross-thread evictions).  The paper measures ~11.5 % of all shared-cache
+accesses to be inter-thread interactions, with a significant destructive
+component — the motivation for partitioning that *controls eviction* while
+preserving cross-partition hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import get_result
+from repro.sim.config import SystemConfig
+from repro.trace.workloads import list_workloads
+
+__all__ = ["InteractionResult", "fig8_interaction_fraction", "fig9_interaction_breakdown"]
+
+
+@dataclass
+class InteractionResult:
+    figure: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def format(self) -> str:
+        text = format_table(self.headers, self.rows, title=self.figure)
+        return f"{text}\n\n{self.notes}" if self.notes else text
+
+    def to_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+
+def fig8_interaction_fraction(
+    config: SystemConfig | None = None, apps: list[str] | None = None
+) -> InteractionResult:
+    """Share of L2 accesses that are inter-thread interactions (Fig. 8)."""
+    config = config or SystemConfig.default()
+    apps = apps or list_workloads()
+    out = InteractionResult(
+        figure="Figure 8: inter-thread share of cache interactions (shared cache)",
+        headers=["app", "% of all accesses", "% of L2 accesses"],
+    )
+    fractions = []
+    for app in apps:
+        r = get_result(app, "shared", config)
+        frac_all = r.inter_thread_share_of_all_accesses()
+        frac_l2 = r.l2_totals.inter_thread_fraction()
+        fractions.append(frac_all)
+        out.rows.append([app, f"{frac_all * 100:.1f}", f"{frac_l2 * 100:.1f}"])
+    out.notes = (
+        f"average inter-thread interaction share over all cache accesses: "
+        f"{float(np.mean(fractions)) * 100:.1f}% (paper reports an 11.5% average).  "
+        "The L2-only column shows the same interactions over the L1-filtered "
+        "stream, where they are necessarily denser."
+    )
+    return out
+
+
+def fig9_interaction_breakdown(
+    config: SystemConfig | None = None, apps: list[str] | None = None
+) -> InteractionResult:
+    """Constructive vs destructive breakdown of inter-thread interactions
+    (Fig. 9)."""
+    config = config or SystemConfig.default()
+    apps = apps or list_workloads()
+    out = InteractionResult(
+        figure="Figure 9: breakdown of inter-thread interactions (shared cache)",
+        headers=["app", "constructive %", "destructive %"],
+    )
+    for app in apps:
+        r = get_result(app, "shared", config)
+        cons = r.l2_totals.constructive_fraction()
+        out.rows.append([app, f"{cons * 100:.1f}", f"{(1 - cons) * 100:.1f}"])
+    out.notes = (
+        "constructive = cross-thread hits (data sharing); destructive = "
+        "cross-thread evictions.  Not all interactions are constructive — "
+        "the destructive share is what partitioning suppresses."
+    )
+    return out

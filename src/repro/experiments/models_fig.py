@@ -1,0 +1,122 @@
+"""Runtime CPI models and the optimised partition: paper Figure 15 (§VI-B).
+
+The paper's Figure 15 shows, for a sample 4-thread execution, each
+thread's fitted CPI-vs-ways curve and the partition the optimiser settles
+on (the critical thread receiving the largest share).  We reproduce it by
+running the model-based policy, then reading its model bank: the observed
+knots, the spline's predictions over the full way range, and the final
+partition alongside the equal-partition starting point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.shared import PartitionedSharedCache
+from repro.core.runtime import RuntimeSystem
+from repro.cpu.engine import CMPEngine
+from repro.experiments.reporting import format_table
+from repro.partition.base import equal_targets
+from repro.partition.model_based import ModelBasedPolicy, optimize_max_cpi
+from repro.sim.config import SystemConfig
+from repro.sim.driver import prepare_program
+
+__all__ = ["CPIModelsResult", "fig15_runtime_models"]
+
+
+@dataclass
+class CPIModelsResult:
+    figure: str
+    app: str
+    way_grid: list[int]
+    #: predicted CPI per thread over way_grid
+    curves: dict[int, list[float]] = field(default_factory=dict)
+    #: (ways, cpi) knots actually observed per thread
+    knots: dict[int, list[tuple[int, float]]] = field(default_factory=dict)
+    equal_partition: list[int] = field(default_factory=list)
+    optimized_partition: list[int] = field(default_factory=list)
+    predicted_cpi_equal: float = 0.0
+    predicted_cpi_optimized: float = 0.0
+
+    def format(self) -> str:
+        rows = []
+        for t in sorted(self.curves):
+            rows.append(
+                [f"thread {t}"]
+                + [round(v, 2) for v in self.curves[t]]
+                + [self.optimized_partition[t]]
+            )
+        table = format_table(
+            ["thread"] + [f"{w}w" for w in self.way_grid] + ["chosen ways"],
+            rows,
+            title=self.figure,
+        )
+        return (
+            f"{table}\n\n"
+            f"equal partition {self.equal_partition}: predicted overall CPI "
+            f"{self.predicted_cpi_equal:.2f}\n"
+            f"optimized partition {self.optimized_partition}: predicted overall CPI "
+            f"{self.predicted_cpi_optimized:.2f}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "app": self.app,
+            "way_grid": self.way_grid,
+            "curves": {str(t): v for t, v in self.curves.items()},
+            "knots": {str(t): v for t, v in self.knots.items()},
+            "equal_partition": self.equal_partition,
+            "optimized_partition": self.optimized_partition,
+            "predicted_cpi_equal": self.predicted_cpi_equal,
+            "predicted_cpi_optimized": self.predicted_cpi_optimized,
+        }
+
+
+def fig15_runtime_models(
+    config: SystemConfig | None = None,
+    app: str = "cg",
+    way_grid: list[int] | None = None,
+) -> CPIModelsResult:
+    """Fit the runtime models by executing ``app`` under the model-based
+    policy, then report the curves and the partition the Fig. 13 loop picks
+    from an equal starting point."""
+    config = config or SystemConfig.default()
+    n = config.n_threads
+    total = config.total_ways
+    if way_grid is None:
+        step = max(1, total // 8)
+        way_grid = list(range(config.min_ways, total - (n - 1) * config.min_ways + 1, step))
+
+    policy = ModelBasedPolicy(n, total, min_ways=config.min_ways)
+    runtime = RuntimeSystem(policy)
+    compiled = prepare_program(app, config)
+    l2 = PartitionedSharedCache(
+        config.l2_geometry, n, targets=runtime.initial_targets()
+    )
+    CMPEngine(
+        compiled, l2, config.timing, runtime,
+        interval_instructions=config.interval_instructions,
+    ).run()
+
+    bank = policy.bank
+    result = CPIModelsResult(
+        figure=f"Figure 15: runtime CPI-vs-ways models for {app}",
+        app=app,
+        way_grid=list(way_grid),
+    )
+    for t in range(n):
+        model = bank.model(t)
+        result.curves[t] = [float(model(float(w))) for w in way_grid]
+        ws, vals = bank.points(t)
+        result.knots[t] = [(int(w), float(v)) for w, v in zip(ws, vals, strict=True)]
+
+    result.equal_partition = equal_targets(n, total)
+    result.predicted_cpi_equal = float(np.max(bank.predict(result.equal_partition)))
+    result.optimized_partition = optimize_max_cpi(
+        bank, result.equal_partition, total, min_ways=config.min_ways
+    )
+    result.predicted_cpi_optimized = float(np.max(bank.predict(result.optimized_partition)))
+    return result

@@ -1,0 +1,200 @@
+"""Motivation experiments: paper Figures 3-7 (§IV-A1).
+
+These characterise thread behaviour under the *shared unpartitioned*
+cache — the paper's starting observations:
+
+* Fig. 3 — per-thread performance (1/time) normalised to the fastest
+  thread: wide variability; the lowest bar is the critical-path thread.
+* Fig. 4 — per-thread L2 misses normalised to the heaviest misser:
+  mirrors Fig. 3.
+* Fig. 5 — Pearson correlation between per-interval CPI and per-interval
+  L2 misses of the critical thread (paper average: 0.97).
+* Fig. 6 — per-thread CPI of SWIM across the 50 intervals (phases).
+* Fig. 7 — per-interval L2 misses of one SWIM thread, tracking Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import get_result
+from repro.mathx.stats import pearson_correlation
+from repro.sim.config import SystemConfig
+from repro.trace.workloads import list_workloads
+
+__all__ = [
+    "MotivationResult",
+    "fig3_performance_variability",
+    "fig4_miss_variability",
+    "fig5_cpi_miss_correlation",
+    "fig6_swim_cpi_phases",
+    "fig7_swim_miss_phases",
+]
+
+
+@dataclass
+class MotivationResult:
+    """Container shared by the motivation figures."""
+
+    figure: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def format(self) -> str:
+        parts = []
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows, title=self.figure))
+        for name, values in self.series.items():
+            parts.append(format_series(name, values))
+        if self.notes:
+            parts.append(self.notes)
+        return "\n\n".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "headers": self.headers,
+            "rows": self.rows,
+            "series": self.series,
+            "notes": self.notes,
+        }
+
+
+def fig3_performance_variability(
+    config: SystemConfig | None = None, apps: list[str] | None = None
+) -> MotivationResult:
+    """Per-thread performance under the shared cache, normalised to the
+    fastest thread of each application (paper Fig. 3)."""
+    config = config or SystemConfig.default()
+    apps = apps or list_workloads()
+    out = MotivationResult(
+        figure="Figure 3: normalized per-thread performance (shared cache)",
+        headers=["app"] + [f"thread {t}" for t in range(config.n_threads)] + ["critical"],
+    )
+    for app in apps:
+        r = get_result(app, "shared", config)
+        # Performance of a thread = 1 / busy time; normalise to fastest.
+        perf = np.array(
+            [1.0 / r.thread_busy_cycles[t] if r.thread_busy_cycles[t] else 0.0
+             for t in range(r.n_threads)]
+        )
+        norm = perf / perf.max() if perf.max() > 0 else perf
+        critical = int(np.argmin(norm))
+        out.rows.append([app] + [round(float(v), 3) for v in norm] + [f"thread {critical}"])
+    return out
+
+
+def fig4_miss_variability(
+    config: SystemConfig | None = None, apps: list[str] | None = None
+) -> MotivationResult:
+    """Per-thread L2 misses normalised to the heaviest-missing thread
+    (paper Fig. 4)."""
+    config = config or SystemConfig.default()
+    apps = apps or list_workloads()
+    out = MotivationResult(
+        figure="Figure 4: normalized per-thread L2 misses (shared cache)",
+        headers=["app"] + [f"thread {t}" for t in range(config.n_threads)],
+    )
+    for app in apps:
+        r = get_result(app, "shared", config)
+        misses = np.array(r.l2_totals.misses, dtype=float)
+        norm = misses / misses.max() if misses.max() > 0 else misses
+        out.rows.append([app] + [round(float(v), 3) for v in norm])
+    return out
+
+
+def fig5_cpi_miss_correlation(
+    config: SystemConfig | None = None, apps: list[str] | None = None
+) -> MotivationResult:
+    """Correlation between per-interval CPI and L2 misses (paper Fig. 5).
+
+    The paper computes the correlation coefficient per application and
+    reports a 0.97 average; we correlate the critical thread's interval
+    series and also report the all-thread average.
+    """
+    config = config or SystemConfig.default()
+    apps = apps or list_workloads()
+    out = MotivationResult(
+        figure="Figure 5: correlation coefficient between CPI and L2 misses",
+        headers=["app", "critical-thread corr", "mean over threads"],
+    )
+    corrs = []
+    for app in apps:
+        r = get_result(app, "shared", config)
+        per_thread = []
+        for t in range(r.n_threads):
+            cpi = r.cpi_series(t)
+            misses = [float(m) for m in r.miss_series(t)]
+            if len(cpi) >= 2:
+                per_thread.append(pearson_correlation(cpi, misses))
+        crit = max(range(r.n_threads), key=lambda t: r.thread_cpi(t))
+        crit_corr = pearson_correlation(
+            r.cpi_series(crit), [float(m) for m in r.miss_series(crit)]
+        )
+        mean_corr = float(np.mean(per_thread)) if per_thread else 0.0
+        corrs.append(mean_corr)
+        out.rows.append([app, round(crit_corr, 3), round(mean_corr, 3)])
+    out.notes = (
+        f"average correlation across applications: {float(np.mean(corrs)):.3f} "
+        "(paper reports an average of 0.97)"
+    )
+    return out
+
+
+def _full_intervals(result, config: SystemConfig):
+    """Interval records excluding a trailing partial interval (the final
+    flush can cover only a fraction of the budget and would distort the
+    plotted series)."""
+    budget = config.interval_instructions * config.n_threads
+    records = list(result.intervals)
+    if records and sum(records[-1].observation.instructions) < budget // 2:
+        records.pop()
+    return records
+
+
+def fig6_swim_cpi_phases(
+    config: SystemConfig | None = None, app: str = "swim"
+) -> MotivationResult:
+    """Per-thread CPI of SWIM over the run's intervals (paper Fig. 6)."""
+    config = config or SystemConfig.default()
+    r = get_result(app, "shared", config)
+    out = MotivationResult(
+        figure=f"Figure 6: per-interval CPI of {app} threads (shared cache)",
+        headers=[],
+    )
+    records = _full_intervals(r, config)
+    for t in range(r.n_threads):
+        out.series[f"{app} thread {t} CPI"] = [
+            round(rec.observation.cpi[t], 3) for rec in records
+        ]
+    return out
+
+
+def fig7_swim_miss_phases(
+    config: SystemConfig | None = None, app: str = "swim", thread: int = 1
+) -> MotivationResult:
+    """Per-interval L2 misses of one SWIM thread (paper Fig. 7 uses thread
+    2 in 1-based numbering, i.e. index 1)."""
+    config = config or SystemConfig.default()
+    r = get_result(app, "shared", config)
+    if not 0 <= thread < r.n_threads:
+        raise ValueError(f"thread {thread} out of range")
+    out = MotivationResult(
+        figure=f"Figure 7: per-interval L2 misses of {app} thread {thread}",
+        headers=[],
+    )
+    records = _full_intervals(r, config)
+    cpi = [rec.observation.cpi[thread] for rec in records]
+    misses = [float(rec.observation.l2.misses[thread]) for rec in records]
+    out.series[f"{app} thread {thread} L2 misses"] = misses
+    if len(cpi) >= 2:
+        out.notes = (
+            f"correlation with the thread's CPI series (Fig. 6): "
+            f"{pearson_correlation(cpi, misses):.3f}"
+        )
+    return out

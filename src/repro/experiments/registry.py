@@ -1,0 +1,74 @@
+"""Registry mapping paper experiment ids to their runners.
+
+Used by the benchmark harness and by ``python -m repro.experiments`` style
+drivers; every entry takes an optional :class:`~repro.sim.SystemConfig`
+and returns an object with ``format()`` and ``to_dict()``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments.ablation import (
+    ablation_cpi_vs_model,
+    ablation_fitting,
+    ablation_interval_length,
+    ablation_termination_rule,
+)
+from repro.experiments.comparison import (
+    fig19_vs_private,
+    fig20_vs_shared,
+    fig21_vs_throughput,
+    fig22_eight_core,
+)
+from repro.experiments.config_fig import fig2_system_configuration
+from repro.experiments.interaction import fig8_interaction_fraction, fig9_interaction_breakdown
+from repro.experiments.migration import migration_resilience
+from repro.experiments.models_fig import fig15_runtime_models
+from repro.experiments.motivation import (
+    fig3_performance_variability,
+    fig4_miss_variability,
+    fig5_cpi_miss_correlation,
+    fig6_swim_cpi_phases,
+    fig7_swim_miss_phases,
+)
+from repro.experiments.sensitivity import fig10_way_sensitivity
+from repro.experiments.snapshot import fig18_partition_snapshot
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
+
+EXPERIMENTS: dict[str, Callable] = {
+    "fig2": fig2_system_configuration,
+    "fig3": fig3_performance_variability,
+    "fig4": fig4_miss_variability,
+    "fig5": fig5_cpi_miss_correlation,
+    "fig6": fig6_swim_cpi_phases,
+    "fig7": fig7_swim_miss_phases,
+    "fig8": fig8_interaction_fraction,
+    "fig9": fig9_interaction_breakdown,
+    "fig10": fig10_way_sensitivity,
+    "fig15": fig15_runtime_models,
+    "fig18": fig18_partition_snapshot,
+    "fig19": fig19_vs_private,
+    "fig20": fig20_vs_shared,
+    "fig21": fig21_vs_throughput,
+    "fig22": fig22_eight_core,
+    "migration": migration_resilience,
+    "ablation-interval": ablation_interval_length,
+    "ablation-fitting": ablation_fitting,
+    "ablation-termination": ablation_termination_rule,
+    "ablation-cpi-vs-model": ablation_cpi_vs_model,
+}
+
+
+def list_experiments() -> list[str]:
+    return list(EXPERIMENTS)
+
+
+def get_experiment(name: str) -> Callable:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None

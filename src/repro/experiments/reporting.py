@@ -1,0 +1,118 @@
+"""ASCII reporting helpers for the experiment harness.
+
+The paper's figures are bar charts and line plots; a terminal harness
+reproduces them as tables and series printouts.  Everything here is pure
+formatting — experiment runners return plain data and call these helpers
+from their ``format()`` methods.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_bar_chart", "format_series", "pct"]
+
+
+def pct(x: float, *, signed: bool = True) -> str:
+    """Render a fraction as a percentage string (0.093 -> '+9.3%')."""
+    sign = "+" if signed else ""
+    return f"{x * 100:{sign}.1f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Monospace table with column auto-sizing.
+
+    Numeric cells are right-aligned, everything else left-aligned.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str], numeric: Sequence[bool]) -> str:
+        parts = []
+        for cell, w, right in zip(cells, widths, numeric, strict=True):
+            parts.append(cell.rjust(w) if right else cell.ljust(w))
+        return "  ".join(parts).rstrip()
+
+    numeric_cols = [
+        all(_is_numeric(row[i]) for row in str_rows) if str_rows else False
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers), [False] * len(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(fmt_row(row, numeric_cols))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str | None = None,
+    width: int = 40,
+    value_format: str = "{:+.1%}",
+) -> str:
+    """Horizontal ASCII bar chart (one bar per label).
+
+    Negative values render to the left of the axis so small regressions
+    are visually distinct from gains.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must be equal length")
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    label_w = max(len(lb) for lb in labels)
+    vmax = max(abs(v) for v in values) or 1.0
+    for lb, v in zip(labels, values, strict=True):
+        n = int(round(abs(v) / vmax * width))
+        bar = ("#" * n) if v >= 0 else ("-" * n)
+        lines.append(f"{lb.ljust(label_w)}  {value_format.format(v):>8}  {bar}")
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    values: Sequence[float],
+    *,
+    per_line: int = 10,
+    value_format: str = "{:7.2f}",
+) -> str:
+    """Print a per-interval series in compact rows of ``per_line``."""
+    lines = [f"{name} ({len(values)} points):"]
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        prefix = f"  [{start:3d}] "
+        lines.append(prefix + " ".join(value_format.format(v) for v in chunk))
+    return "\n".join(lines)
+
+
+def _cell(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}" if abs(v) < 1000 else f"{v:.1f}"
+    return str(v)
+
+
+def _is_numeric(s: str) -> bool:
+    if not s:
+        return False
+    try:
+        float(s.rstrip("%"))
+        return True
+    except ValueError:
+        return False

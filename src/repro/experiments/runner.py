@@ -1,0 +1,51 @@
+"""Shared machinery for experiment runners: memoised simulation results.
+
+Several figures read the same underlying runs (e.g. Figs. 3, 4 and 5 all
+analyse the nine applications under the shared cache; Figs. 19-21 all need
+the model-based run).  Results are memoised per ``(app, policy, config)``
+so a full harness invocation simulates each combination exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import RunResult
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_application
+
+__all__ = ["clear_result_cache", "get_result"]
+
+_RESULT_CACHE: dict[tuple, RunResult] = {}
+
+
+def _key(app: str, policy: str, config: SystemConfig) -> tuple:
+    return (
+        app,
+        policy,
+        config.n_threads,
+        config.n_intervals,
+        config.interval_instructions,
+        config.sections_per_interval,
+        config.seed,
+        config.min_ways,
+        config.l1_geometry,
+        config.l2_geometry,
+        config.timing,
+    )
+
+
+def get_result(app: str, policy: str, config: SystemConfig) -> RunResult:
+    """Run (or fetch the memoised) simulation of ``app`` under ``policy``.
+
+    Only string policy names are memoised — pre-built policy objects carry
+    state and must go through :func:`repro.sim.run_application` directly.
+    """
+    key = _key(app, policy, config)
+    result = _RESULT_CACHE.get(key)
+    if result is None:
+        result = run_application(app, policy, config)
+        _RESULT_CACHE[key] = result
+    return result
+
+
+def clear_result_cache() -> None:
+    _RESULT_CACHE.clear()

@@ -1,0 +1,80 @@
+"""Partitioning snapshot: paper Figure 18 (§VII-A).
+
+The paper shows four consecutive execution intervals of NAS CG: the way
+allocation per thread and the resulting overall CPI, starting from the
+equal partition and converging on a partition that feeds the slow thread
+(thread 3 in the paper, CPI 6.35 vs ~3 for the others), reducing overall
+CPI interval over interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import get_result
+from repro.sim.config import SystemConfig
+
+__all__ = ["SnapshotResult", "fig18_partition_snapshot"]
+
+
+@dataclass
+class SnapshotResult:
+    figure: str
+    app: str
+    #: one row per interval: (index, targets, per-thread CPI, overall CPI)
+    rows: list[dict] = field(default_factory=list)
+
+    def format(self) -> str:
+        n = len(self.rows[0]["targets"]) if self.rows else 0
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [f"interval {row['index'] + 1}"]
+                + list(row["targets"])
+                + [round(row["overall_cpi"], 2)]
+            )
+        return format_table(
+            ["interval"] + [f"thread {t} ways" for t in range(n)] + ["overall CPI"],
+            table_rows,
+            title=self.figure,
+        )
+
+    def to_dict(self) -> dict:
+        return {"figure": self.figure, "app": self.app, "rows": self.rows}
+
+
+def fig18_partition_snapshot(
+    config: SystemConfig | None = None,
+    app: str = "cg",
+    n_intervals: int = 4,
+    start: int = 0,
+) -> SnapshotResult:
+    """Way allocations and overall CPI across consecutive intervals of the
+    model-based run (paper Fig. 18 shows four intervals of CG).
+
+    Overall CPI follows the paper's objective: the maximum per-thread CPI
+    of the interval (the critical thread's CPI determines progress).
+    """
+    config = config or SystemConfig.default()
+    r = get_result(app, "model-based", config)
+    if start < 0 or start + n_intervals > len(r.intervals):
+        raise ValueError(
+            f"requested intervals [{start}, {start + n_intervals}) out of range "
+            f"(run has {len(r.intervals)})"
+        )
+    result = SnapshotResult(
+        figure=f"Figure 18: dynamic partitioning snapshot of {app}",
+        app=app,
+    )
+    for rec in r.intervals[start : start + n_intervals]:
+        obs = rec.observation
+        result.rows.append(
+            {
+                "index": obs.index,
+                "targets": list(obs.targets),
+                "cpi": [round(c, 3) for c in obs.cpi],
+                "overall_cpi": obs.overall_cpi,
+            }
+        )
+    return result

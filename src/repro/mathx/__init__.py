@@ -1,0 +1,25 @@
+"""Numerical kernels used by the partitioning runtime.
+
+This package intentionally implements its own primitives (natural cubic
+spline, Pearson correlation, largest-remainder apportionment) instead of
+leaning on SciPy, because the paper treats the curve fitter as a swappable
+component of the runtime system and we want the exact, documented semantics
+under test.  SciPy is only used in the test-suite as an oracle.
+"""
+
+from repro.mathx.isotonic import isotonic_nonincreasing
+from repro.mathx.pchip import PchipSpline1D
+from repro.mathx.rounding import largest_remainder_apportion
+from repro.mathx.spline import CubicSpline1D, LinearModel1D, fit_cpi_model
+from repro.mathx.stats import pearson_correlation, running_mean
+
+__all__ = [
+    "CubicSpline1D",
+    "LinearModel1D",
+    "PchipSpline1D",
+    "fit_cpi_model",
+    "isotonic_nonincreasing",
+    "largest_remainder_apportion",
+    "pearson_correlation",
+    "running_mean",
+]

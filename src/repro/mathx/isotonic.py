@@ -1,0 +1,64 @@
+"""Isotonic regression (pool-adjacent-violators) for model monotonisation.
+
+A thread's true CPI-vs-ways and misses-vs-ways curves are non-increasing:
+by the LRU inclusion property, a cache with more ways holds a superset of
+the lines, so capacity can only help.  Observed interval samples violate
+this through noise and through transients (a sample taken while the cache
+was still converging to a new partition can be wildly pessimistic).  A
+single such poisoned knot makes the fitted curve predict that *more ways
+hurt*, which permanently blocks the optimiser from feeding that thread.
+
+Projecting the knots onto the nearest non-increasing sequence (in the
+least-squares sense — exactly what PAVA computes) removes the artifact
+while preserving every genuine trend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["isotonic_nonincreasing"]
+
+
+def isotonic_nonincreasing(values, weights=None) -> np.ndarray:
+    """Least-squares projection of ``values`` onto non-increasing sequences.
+
+    Classic pool-adjacent-violators in O(n): scan left to right merging
+    any block that rises above its predecessor into a weighted-mean pool.
+    ``weights`` default to 1.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError("values must be 1-D")
+    if v.size == 0:
+        return v.copy()
+    if not np.all(np.isfinite(v)):
+        raise ValueError("values must be finite")
+    w = np.ones_like(v) if weights is None else np.asarray(weights, dtype=np.float64)
+    if w.shape != v.shape:
+        raise ValueError("weights must match values")
+    if np.any(w <= 0):
+        raise ValueError("weights must be positive")
+
+    # Blocks as (mean, weight, count) merged while order is violated.
+    means: list[float] = []
+    wsum: list[float] = []
+    count: list[int] = []
+    for val, wt in zip(v, w, strict=True):
+        means.append(float(val))
+        wsum.append(float(wt))
+        count.append(1)
+        # Non-increasing: a block must not exceed its predecessor.
+        while len(means) > 1 and means[-1] > means[-2]:
+            m2, w2, c2 = means.pop(), wsum.pop(), count.pop()
+            m1, w1, c1 = means.pop(), wsum.pop(), count.pop()
+            means.append((m1 * w1 + m2 * w2) / (w1 + w2))
+            wsum.append(w1 + w2)
+            count.append(c1 + c2)
+
+    out = np.empty_like(v)
+    i = 0
+    for m, c in zip(means, count, strict=True):
+        out[i : i + c] = m
+        i += c
+    return out

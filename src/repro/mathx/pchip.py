@@ -1,0 +1,108 @@
+"""Shape-preserving cubic interpolation (PCHIP, Fritsch-Carlson).
+
+A natural cubic spline through monotone knots can still overshoot
+*between* them, and for the runtime's CPI models an overshoot is not a
+cosmetic flaw: a bump that rises with ways reads as "giving this thread
+capacity hurts it" and blocks the optimiser.  PCHIP chooses Hermite
+tangents (Fritsch-Carlson weighted harmonic mean) so the interpolant is
+monotone wherever the data are, at the cost of C2 continuity the models
+never needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PchipSpline1D"]
+
+
+class PchipSpline1D:
+    """Monotone piecewise-cubic Hermite interpolant.
+
+    Same calling convention as :class:`repro.mathx.spline.CubicSpline1D`:
+    callable on scalars or arrays, ``knots`` attribute, and ``"clamp"`` or
+    ``"linear"`` extrapolation outside the knot range.
+    """
+
+    def __init__(self, x, y, *, extrapolation: str = "clamp") -> None:
+        if extrapolation not in ("clamp", "linear"):
+            raise ValueError(f"unknown extrapolation mode {extrapolation!r}")
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 1 or x.shape != y.shape or x.size < 2:
+            raise ValueError("need >= 2 equal-length 1-D knot arrays")
+        if np.any(np.diff(x) <= 0):
+            raise ValueError("knots must be strictly increasing")
+        if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+            raise ValueError("knots must be finite")
+        self.x = x
+        self.y = y
+        self.extrapolation = extrapolation
+        self._d = self._fritsch_carlson_tangents(x, y)
+
+    @staticmethod
+    def _fritsch_carlson_tangents(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        h = np.diff(x)
+        delta = np.diff(y) / h  # secant slopes
+        n = x.size
+        d = np.zeros(n)
+        if n == 2:
+            d[:] = delta[0]
+            return d
+        # Interior tangents: weighted harmonic mean when the secants agree
+        # in sign, zero at local extrema (this is what kills overshoot).
+        for i in range(1, n - 1):
+            if delta[i - 1] == 0.0 or delta[i] == 0.0 or (delta[i - 1] * delta[i]) < 0:
+                d[i] = 0.0
+            else:
+                w1 = 2 * h[i] + h[i - 1]
+                w2 = h[i] + 2 * h[i - 1]
+                with np.errstate(over="ignore"):
+                    denom = w1 / delta[i - 1] + w2 / delta[i]
+                # A denormally small secant overflows the reciprocal; the
+                # harmonic mean's limit there is a zero tangent.
+                d[i] = (w1 + w2) / denom if np.isfinite(denom) else 0.0
+        # One-sided endpoint tangents (shape-preserving variant).
+        d[0] = PchipSpline1D._edge_tangent(h[0], h[1], delta[0], delta[1])
+        d[-1] = PchipSpline1D._edge_tangent(h[-1], h[-2], delta[-1], delta[-2])
+        return d
+
+    @staticmethod
+    def _edge_tangent(h0: float, h1: float, d0: float, d1: float) -> float:
+        t = ((2 * h0 + h1) * d0 - h0 * d1) / (h0 + h1)
+        if t * d0 <= 0:
+            return 0.0
+        if d0 * d1 < 0 and abs(t) > 3 * abs(d0):
+            return 3 * d0
+        return t
+
+    @property
+    def knots(self) -> np.ndarray:
+        return self.x
+
+    def __call__(self, q):
+        scalar = np.isscalar(q)
+        q_arr = np.atleast_1d(np.asarray(q, dtype=np.float64))
+        out = self._eval(q_arr)
+        return float(out[0]) if scalar else out
+
+    def _eval(self, q: np.ndarray) -> np.ndarray:
+        x, y, d = self.x, self.y, self._d
+        qc = np.clip(q, x[0], x[-1])
+        idx = np.clip(np.searchsorted(x, qc, side="right") - 1, 0, x.size - 2)
+        h = x[idx + 1] - x[idx]
+        t = (qc - x[idx]) / h
+        # Cubic Hermite basis.
+        h00 = (1 + 2 * t) * (1 - t) ** 2
+        h10 = t * (1 - t) ** 2
+        h01 = t * t * (3 - 2 * t)
+        h11 = t * t * (t - 1)
+        out = h00 * y[idx] + h10 * h * d[idx] + h01 * y[idx + 1] + h11 * h * d[idx + 1]
+        if self.extrapolation == "linear":
+            lo = q < x[0]
+            hi = q > x[-1]
+            if np.any(lo):
+                out[lo] = y[0] + d[0] * (q[lo] - x[0])
+            if np.any(hi):
+                out[hi] = y[-1] + d[-1] * (q[hi] - x[-1])
+        return out

@@ -1,0 +1,70 @@
+"""Integer apportionment of cache ways from fractional shares.
+
+The CPI-proportional scheme (paper Section VI-A) computes
+``partition_t = CPI_t / sum(CPI_i) * TotalCacheWays`` which is fractional;
+hardware way counters are integers and must sum exactly to the total way
+count, with every thread keeping at least a minimum number of ways so it
+can make forward progress at all.  Largest-remainder (Hamilton)
+apportionment gives the canonical rounding with both properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["largest_remainder_apportion"]
+
+
+def largest_remainder_apportion(
+    shares,
+    total: int,
+    *,
+    minimum: int = 1,
+) -> list[int]:
+    """Apportion ``total`` integer units proportionally to ``shares``.
+
+    Parameters
+    ----------
+    shares:
+        Non-negative weights, one per recipient.  An all-zero vector is
+        treated as uniform (every recipient equally weighted).
+    total:
+        Number of units to hand out; must satisfy
+        ``total >= minimum * len(shares)``.
+    minimum:
+        Floor per recipient (default 1 way, so no thread is starved of
+        cache entirely).
+
+    Returns
+    -------
+    list[int] summing exactly to ``total`` with each entry >= ``minimum``.
+    """
+    shares = np.asarray(shares, dtype=np.float64)
+    if shares.ndim != 1 or shares.size == 0:
+        raise ValueError("shares must be a non-empty 1-D sequence")
+    if np.any(shares < 0) or not np.all(np.isfinite(shares)):
+        raise ValueError("shares must be finite and non-negative")
+    n = shares.size
+    if minimum < 0:
+        raise ValueError("minimum must be >= 0")
+    if total < minimum * n:
+        raise ValueError(f"total={total} cannot satisfy minimum={minimum} for {n} recipients")
+
+    ssum = shares.sum()
+    if ssum == 0.0:
+        shares = np.ones(n)
+        ssum = float(n)
+
+    # Apportion the units above the guaranteed floor.
+    spare = total - minimum * n
+    ideal = shares / ssum * spare
+    base = np.floor(ideal).astype(np.int64)
+    remainder = ideal - base
+    leftover = spare - int(base.sum())
+    if leftover:
+        # Ties broken by lower index for determinism (stable sort).
+        order = np.argsort(-remainder, kind="stable")
+        base[order[:leftover]] += 1
+    result = (base + minimum).tolist()
+    assert sum(result) == total
+    return [int(v) for v in result]

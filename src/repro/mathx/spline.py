@@ -1,0 +1,210 @@
+"""Natural cubic spline interpolation, written from scratch.
+
+The paper (Section VI-B) builds a runtime *CPI-vs-cache-ways* model for each
+thread using "a simple cubic spline interpolation" over the ``(ways, CPI)``
+data points observed so far, and explicitly notes that the choice of curve
+fitter is independent of the partitioning scheme.  This module provides that
+fitter with well-defined degenerate behaviour:
+
+* one data point   -> a constant model,
+* two data points  -> a linear model,
+* three or more    -> a natural cubic spline (second derivative zero at the
+  end knots), evaluated piecewise.
+
+Outside the observed range the model *clamps* to the boundary value by
+default (``extrapolation="clamp"``).  Clamping is the conservative choice
+for cache models: a cubic polynomial extended beyond its knots can swing to
+absurd (even negative) CPI predictions, which would let the optimiser chase
+phantom gains at way counts it has never observed.  Linear extension is
+available for callers that want a gradient signal beyond the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CubicSpline1D", "LinearModel1D", "fit_cpi_model"]
+
+
+def _as_sorted_unique(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort by ``x`` and average ``y`` over duplicate ``x`` values.
+
+    Duplicate abscissae are common in our setting: a thread may be assigned
+    the same number of ways in several intervals with different observed
+    CPIs.  A spline needs strictly increasing knots, so duplicates collapse
+    to their mean, which is also the least-squares constant fit per knot.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim != 1 or y.ndim != 1 or x.shape != y.shape:
+        raise ValueError(f"x and y must be 1-D and equal length, got {x.shape} vs {y.shape}")
+    if x.size == 0:
+        raise ValueError("need at least one data point")
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        raise ValueError("data points must be finite")
+    order = np.argsort(x, kind="stable")
+    x, y = x[order], y[order]
+    ux, inverse = np.unique(x, return_inverse=True)
+    if ux.size == x.size:
+        return x, y
+    uy = np.zeros_like(ux)
+    counts = np.zeros_like(ux)
+    np.add.at(uy, inverse, y)
+    np.add.at(counts, inverse, 1.0)
+    return ux, uy / counts
+
+
+@dataclass(frozen=True)
+class LinearModel1D:
+    """Degenerate model used when fewer than three distinct knots exist.
+
+    With one knot it is a constant; with two it is the secant line through
+    them.  Shares the evaluation interface of :class:`CubicSpline1D`.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    extrapolation: str = "clamp"
+
+    def __call__(self, q: float | np.ndarray) -> float | np.ndarray:
+        q_arr = np.asarray(q, dtype=np.float64)
+        if self.x.size == 1:
+            out = np.full_like(q_arr, self.y[0], dtype=np.float64)
+        else:
+            slope = (self.y[1] - self.y[0]) / (self.x[1] - self.x[0])
+            qq = q_arr
+            if self.extrapolation == "clamp":
+                qq = np.clip(q_arr, self.x[0], self.x[-1])
+            out = self.y[0] + slope * (qq - self.x[0])
+        return float(out) if np.isscalar(q) else out
+
+    @property
+    def knots(self) -> np.ndarray:
+        return self.x
+
+
+class CubicSpline1D:
+    """Natural cubic spline through strictly increasing knots.
+
+    Solves the classic tridiagonal system for the knot second derivatives
+    ``M_i`` with natural boundary conditions ``M_0 = M_{n-1} = 0`` (Thomas
+    algorithm), then evaluates the standard piecewise-cubic form.
+
+    Parameters
+    ----------
+    x, y:
+        Knot abscissae (strictly increasing after dedup) and ordinates.
+    extrapolation:
+        ``"clamp"`` (default) holds boundary values outside the knot range;
+        ``"linear"`` extends with the boundary tangent.
+    """
+
+    def __init__(self, x, y, *, extrapolation: str = "clamp") -> None:
+        if extrapolation not in ("clamp", "linear"):
+            raise ValueError(f"unknown extrapolation mode {extrapolation!r}")
+        x, y = _as_sorted_unique(np.asarray(x), np.asarray(y))
+        if x.size < 3:
+            raise ValueError("CubicSpline1D needs >= 3 distinct knots; use fit_cpi_model")
+        self.x = x
+        self.y = y
+        self.extrapolation = extrapolation
+        self._m = self._solve_second_derivatives(x, y)
+
+    @staticmethod
+    def _solve_second_derivatives(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        n = x.size
+        h = np.diff(x)  # interval widths, all > 0 by construction
+        # Right-hand side: 6 * divided-difference second differences.
+        rhs = 6.0 * ((y[2:] - y[1:-1]) / h[1:] - (y[1:-1] - y[:-2]) / h[:-1])
+        # Tridiagonal system over the n-2 interior knots.
+        diag = 2.0 * (h[:-1] + h[1:])
+        lower = h[:-1].copy()
+        upper = h[1:].copy()
+        m_inner = _thomas_solve(lower[1:], diag, upper[:-1], rhs)
+        m = np.zeros(n)
+        m[1:-1] = m_inner
+        return m
+
+    @property
+    def knots(self) -> np.ndarray:
+        return self.x
+
+    def __call__(self, q: float | np.ndarray) -> float | np.ndarray:
+        scalar = np.isscalar(q)
+        q_arr = np.atleast_1d(np.asarray(q, dtype=np.float64))
+        out = self._eval(q_arr)
+        return float(out[0]) if scalar else out
+
+    def _eval(self, q: np.ndarray) -> np.ndarray:
+        x, y, m = self.x, self.y, self._m
+        qc = np.clip(q, x[0], x[-1])
+        idx = np.clip(np.searchsorted(x, qc, side="right") - 1, 0, x.size - 2)
+        h = x[idx + 1] - x[idx]
+        a = (x[idx + 1] - qc) / h
+        b = (qc - x[idx]) / h
+        out = (
+            a * y[idx]
+            + b * y[idx + 1]
+            + ((a**3 - a) * m[idx] + (b**3 - b) * m[idx + 1]) * h**2 / 6.0
+        )
+        if self.extrapolation == "linear":
+            lo = q < x[0]
+            hi = q > x[-1]
+            if np.any(lo):
+                out[lo] = y[0] + self._derivative_at_knot(0) * (q[lo] - x[0])
+            if np.any(hi):
+                out[hi] = y[-1] + self._derivative_at_knot(-1) * (q[hi] - x[-1])
+        return out
+
+    def _derivative_at_knot(self, which: int) -> float:
+        x, y, m = self.x, self.y, self._m
+        if which == 0:
+            h = x[1] - x[0]
+            return float((y[1] - y[0]) / h - h * (2.0 * m[0] + m[1]) / 6.0)
+        h = x[-1] - x[-2]
+        return float((y[-1] - y[-2]) / h + h * (m[-2] + 2.0 * m[-1]) / 6.0)
+
+
+def _thomas_solve(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve a tridiagonal system in O(n) (Thomas algorithm).
+
+    ``lower`` has length n-1 (sub-diagonal), ``diag`` length n, ``upper``
+    length n-1 (super-diagonal).  The spline system is strictly diagonally
+    dominant, so no pivoting is required.
+    """
+    n = diag.size
+    if n == 0:
+        return np.zeros(0)
+    c = np.zeros(n - 1) if n > 1 else np.zeros(0)
+    d = np.zeros(n)
+    denom = diag[0]
+    if n > 1:
+        c[0] = upper[0] / denom
+    d[0] = rhs[0] / denom
+    for i in range(1, n):
+        denom = diag[i] - lower[i - 1] * c[i - 1]
+        if i < n - 1:
+            c[i] = upper[i] / denom
+        d[i] = (rhs[i] - lower[i - 1] * d[i - 1]) / denom
+    out = np.zeros(n)
+    out[-1] = d[-1]
+    for i in range(n - 2, -1, -1):
+        out[i] = d[i] - c[i] * out[i + 1]
+    return out
+
+
+def fit_cpi_model(ways, cpi, *, extrapolation: str = "clamp"):
+    """Fit the runtime CPI-vs-ways model used by the partition engine.
+
+    Dispatches on the number of *distinct* way counts observed:
+    constant (1), linear (2), natural cubic spline (>= 3).  Returns a
+    callable model with a ``knots`` attribute.
+    """
+    x, y = _as_sorted_unique(np.asarray(ways), np.asarray(cpi))
+    if x.size < 3:
+        return LinearModel1D(x=x, y=y, extrapolation=extrapolation)
+    return CubicSpline1D(x, y, extrapolation=extrapolation)

@@ -1,0 +1,58 @@
+"""Small statistics helpers used by the motivation experiments.
+
+The paper's Figure 5 reports the Pearson correlation coefficient between a
+thread's per-interval CPI and its per-interval L2 miss count (average 0.97
+across the nine benchmarks).  We reimplement the coefficient here so the
+experiment code has a single, degenerate-safe definition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pearson_correlation", "running_mean"]
+
+
+def pearson_correlation(a, b) -> float:
+    """Pearson correlation coefficient of two equal-length sequences.
+
+    Returns 0.0 when either input has zero variance (a flat series carries
+    no linear relationship either way), and raises on length mismatch or
+    fewer than two samples, which would make the statistic undefined.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"inputs must be 1-D and equal length, got {a.shape} vs {b.shape}")
+    if a.size < 2:
+        raise ValueError("need at least two samples")
+    if not (np.all(np.isfinite(a)) and np.all(np.isfinite(b))):
+        raise ValueError("inputs must be finite")
+    da = a - a.mean()
+    db = b - b.mean()
+    denom = np.sqrt((da @ da) * (db @ db))
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip((da @ db) / denom, -1.0, 1.0))
+
+
+def running_mean(values, window: int):
+    """Centered-ish trailing moving average used for plotting smoothing.
+
+    ``window`` must be >= 1; the first ``window - 1`` outputs average the
+    prefix seen so far, so the result has the same length as the input.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if values.ndim != 1:
+        raise ValueError("values must be 1-D")
+    if values.size == 0:
+        return values.copy()
+    csum = np.cumsum(values)
+    out = np.empty_like(values)
+    w = min(window, values.size)
+    out[:w] = csum[:w] / np.arange(1, w + 1)
+    if values.size > w:
+        out[w:] = (csum[w:] - csum[:-w]) / w
+    return out

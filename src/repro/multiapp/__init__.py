@@ -1,0 +1,30 @@
+"""Hierarchical multi-application cache management (paper §VI-C, Fig. 16).
+
+The paper positions its intra-application scheme as the lower layer of a
+hierarchy: the OS partitions the shared cache among co-executing
+applications and each application's runtime subdivides its slice among
+its threads.  This package builds that whole stack: OS allocators, the
+budget-aware per-application runtime, a co-execution engine, and a
+one-call driver comparing the hierarchy against unmanaged and OS-only
+baselines.
+"""
+
+from repro.multiapp.allocator import (
+    MissProportionalOSAllocator,
+    OSAllocator,
+    StaticOSAllocator,
+)
+from repro.multiapp.driver import run_coexecution
+from repro.multiapp.engine import AppResult, MultiAppEngine, MultiAppResult
+from repro.multiapp.runtime import AppRuntime
+
+__all__ = [
+    "AppResult",
+    "AppRuntime",
+    "MissProportionalOSAllocator",
+    "MultiAppEngine",
+    "MultiAppResult",
+    "OSAllocator",
+    "StaticOSAllocator",
+    "run_coexecution",
+]

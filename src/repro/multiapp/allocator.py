@@ -1,0 +1,92 @@
+"""OS-level cache allocators (paper §VI-C, Fig. 16, upper layer).
+
+The paper envisions a hierarchy: "the OS manages the cache-partitioning
+among applications and the runtime-system manages the cache-partitioning
+among the threads of an application", citing Suh-style OS allocators.
+These classes play the OS role: at every *OS epoch* they re-divide the
+total way budget among the co-executing applications; the per-application
+runtimes then subdivide their slices (see
+:class:`repro.multiapp.runtime.HierarchicalRuntime`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.mathx.rounding import largest_remainder_apportion
+
+__all__ = ["MissProportionalOSAllocator", "OSAllocator", "StaticOSAllocator"]
+
+
+class OSAllocator(ABC):
+    """Divides ``total_ways`` among ``n_apps`` applications."""
+
+    def __init__(self, n_apps: int, total_ways: int, *, min_ways_per_app: int = 1) -> None:
+        if n_apps < 1:
+            raise ValueError("n_apps must be >= 1")
+        if total_ways < min_ways_per_app * n_apps:
+            raise ValueError(
+                f"{total_ways} ways cannot give {n_apps} apps {min_ways_per_app} each"
+            )
+        self.n_apps = n_apps
+        self.total_ways = total_ways
+        self.min_ways_per_app = min_ways_per_app
+
+    def initial_budgets(self, threads_per_app: list[int]) -> list[int]:
+        """Starting budgets: proportional to thread counts (a bigger
+        application gets a proportionally bigger slice)."""
+        return largest_remainder_apportion(
+            threads_per_app, self.total_ways, minimum=self.min_ways_per_app
+        )
+
+    @abstractmethod
+    def on_epoch(self, app_misses: list[int], budgets: list[int]) -> list[int] | None:
+        """New per-app budgets at an OS epoch (None = keep current).
+
+        ``app_misses`` are each application's L2 misses during the epoch.
+        """
+
+
+class StaticOSAllocator(OSAllocator):
+    """Fixed budgets for the whole run (set by :meth:`initial_budgets`)."""
+
+    def on_epoch(self, app_misses: list[int], budgets: list[int]) -> list[int] | None:
+        return None
+
+
+class MissProportionalOSAllocator(OSAllocator):
+    """Budgets follow each application's share of recent L2 misses.
+
+    A simple, Suh-flavoured demand-driven allocator: applications missing
+    more receive more cache.  An EWMA over epochs keeps it from chasing a
+    single noisy epoch.
+    """
+
+    def __init__(
+        self,
+        n_apps: int,
+        total_ways: int,
+        *,
+        min_ways_per_app: int = 1,
+        alpha: float = 0.5,
+    ) -> None:
+        super().__init__(n_apps, total_ways, min_ways_per_app=min_ways_per_app)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._smoothed: list[float] | None = None
+
+    def on_epoch(self, app_misses: list[int], budgets: list[int]) -> list[int] | None:
+        if len(app_misses) != self.n_apps:
+            raise ValueError(f"expected {self.n_apps} miss counts, got {len(app_misses)}")
+        misses = [float(m) for m in app_misses]
+        if self._smoothed is None:
+            self._smoothed = misses
+        else:
+            self._smoothed = [
+                s + self.alpha * (m - s)
+                for s, m in zip(self._smoothed, misses, strict=True)
+            ]
+        return largest_remainder_apportion(
+            self._smoothed, self.total_ways, minimum=self.min_ways_per_app
+        )

@@ -1,0 +1,326 @@
+"""Co-execution engine: several applications sharing one L2 (paper Fig. 16).
+
+Generalises :class:`repro.cpu.engine.CMPEngine` to multiple independent
+applications on disjoint core sets.  Each application keeps its own
+barrier structure and its own execution-interval clock (ticking its
+:class:`~repro.multiapp.runtime.AppRuntime`); an OS allocator re-divides
+the global way budget between applications at coarser epochs.  The shared
+cache sees one flat list of threads — the hierarchy exists purely in who
+decides which slice of the target vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.shared import PartitionedSharedCache
+from repro.cache.stats import StatsSnapshot
+from repro.core.records import IntervalObservation
+from repro.cpu.streams import CompiledProgram
+from repro.cpu.timing import TimingModel
+from repro.multiapp.allocator import OSAllocator
+from repro.multiapp.runtime import AppRuntime
+
+__all__ = ["AppResult", "MultiAppEngine", "MultiAppResult"]
+
+
+@dataclass
+class AppResult:
+    """Outcome for one application of a co-execution."""
+
+    app: str
+    completion_cycles: float
+    thread_instructions: tuple[int, ...]
+    thread_busy_cycles: tuple[float, ...]
+    intervals: list[IntervalObservation] = field(default_factory=list)
+
+    def thread_cpi(self, thread: int) -> float:
+        instr = self.thread_instructions[thread]
+        return self.thread_busy_cycles[thread] / instr if instr else 0.0
+
+
+@dataclass
+class MultiAppResult:
+    """Outcome of a whole co-execution."""
+
+    apps: list[AppResult]
+    l2_totals: StatsSnapshot
+    budget_trace: list[tuple[int, list[int]]] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        """Wall clock until the last application completes."""
+        return max(a.completion_cycles for a in self.apps)
+
+    def completion(self, app_index: int) -> float:
+        return self.apps[app_index].completion_cycles
+
+
+class MultiAppEngine:
+    """Runs K compiled programs concurrently against one shared L2.
+
+    Parameters
+    ----------
+    compiled_apps:
+        One compiled program per application; thread ids are assigned
+        app-major (app 0's threads first).
+    l2:
+        Shared cache built for the *total* thread count.
+    runtimes:
+        One :class:`AppRuntime` per application, or None for a fully
+        unmanaged (global-LRU or fixed-partition) run.
+    os_allocator:
+        Re-divides the budget between applications every
+        ``os_epoch_intervals`` application-interval lengths of aggregate
+        instructions.  Ignored when ``runtimes`` is None.
+    """
+
+    def __init__(
+        self,
+        compiled_apps: list[CompiledProgram],
+        l2: PartitionedSharedCache,
+        timing: TimingModel,
+        runtimes: list[AppRuntime] | None = None,
+        os_allocator: OSAllocator | None = None,
+        *,
+        interval_instructions: int = 20_000,
+        os_epoch_intervals: int = 5,
+    ) -> None:
+        if not compiled_apps:
+            raise ValueError("need at least one application")
+        self.apps = compiled_apps
+        self.n_apps = len(compiled_apps)
+        self.offsets = []
+        total = 0
+        for c in compiled_apps:
+            self.offsets.append(total)
+            total += c.n_threads
+        self.n_total = total
+        if l2.n_threads != total:
+            raise ValueError(f"cache is shared by {l2.n_threads} threads, programs have {total}")
+        if runtimes is not None and len(runtimes) != self.n_apps:
+            raise ValueError("need one runtime per application")
+        if runtimes is not None:
+            for c, rt in zip(compiled_apps, runtimes, strict=True):
+                if rt.n_threads != c.n_threads:
+                    raise ValueError("runtime thread count mismatch")
+        if interval_instructions < 1 or os_epoch_intervals < 1:
+            raise ValueError("interval_instructions and os_epoch_intervals must be >= 1")
+        self.l2 = l2
+        self.timing = timing
+        self.runtimes = runtimes
+        self.os_allocator = os_allocator
+        self.interval_instructions = interval_instructions
+        self.os_epoch_intervals = os_epoch_intervals
+
+    # ------------------------------------------------------------------
+    def _apply_targets(self) -> None:
+        targets = [0] * self.n_total
+        assert self.runtimes is not None
+        for a, rt in enumerate(self.runtimes):
+            off = self.offsets[a]
+            for t, w in enumerate(rt.targets):
+                targets[off + t] = w
+        self.l2.set_targets(targets)
+
+    def run(self) -> MultiAppResult:
+        timing = self.timing
+        l2 = self.l2
+        access = l2.access
+        l2_hit = timing.l2_hit_cycles
+
+        n_apps = self.n_apps
+        offsets = self.offsets
+        clock = [0.0] * self.n_total
+        busy = [0.0] * self.n_total
+        instr = [0] * self.n_total
+
+        # Per-app execution state.
+        section_idx = [0] * n_apps
+        app_active = [True] * n_apps
+        completion = [0.0] * n_apps
+        cursors: list[list[int]] = [[0] * c.n_threads for c in self.apps]
+        sec_done: list[list[bool]] = [[False] * c.n_threads for c in self.apps]
+        streams = [None] * n_apps  # materialised per-section python lists
+        app_of_thread = []
+        for a, c in enumerate(self.apps):
+            app_of_thread += [a] * c.n_threads
+
+        def load_section(a: int) -> None:
+            sec = self.apps[a].sections[section_idx[a]]
+            streams[a] = (
+                [s.addresses.tolist() for s in sec],
+                [s.d_instructions.tolist() for s in sec],
+                [s.d_cycles.tolist() for s in sec],
+                [s.miss_cycles.tolist() for s in sec],
+                [s.n_l2_accesses for s in sec],
+                [s.tail_instructions for s in sec],
+                [s.tail_cycles for s in sec],
+            )
+            cursors[a] = [0] * self.apps[a].n_threads
+            sec_done[a] = [False] * self.apps[a].n_threads
+
+        for a in range(n_apps):
+            load_section(a)
+
+        # Interval / epoch bookkeeping.
+        app_instr = [0] * n_apps
+        next_tick = [self.interval_instructions * c.n_threads for c in self.apps]
+        tick_len = [self.interval_instructions * c.n_threads for c in self.apps]
+        interval_idx = [0] * n_apps
+        tick_instr = [list(instr[offsets[a] : offsets[a] + self.apps[a].n_threads])
+                      for a in range(n_apps)]
+        tick_busy = [[0.0] * self.apps[a].n_threads for a in range(n_apps)]
+        tick_snapshot = l2.stats.snapshot()
+        app_snapshots = [tick_snapshot] * n_apps
+        intervals: list[list[IntervalObservation]] = [[] for _ in range(n_apps)]
+
+        epoch_countdown = self.os_epoch_intervals
+        epoch_miss_base = [0] * n_apps
+        budget_trace: list[tuple[int, list[int]]] = []
+        total_app_ticks = 0
+
+        if self.runtimes is not None:
+            self._apply_targets()
+            if self.os_allocator is not None:
+                budget_trace.append((0, [rt.budget for rt in self.runtimes]))
+
+        def fire_app_tick(a: int) -> None:
+            nonlocal epoch_countdown, total_app_ticks
+            off = offsets[a]
+            n = self.apps[a].n_threads
+            snap = l2.stats.snapshot()
+            d_instr = tuple(instr[off + t] - tick_instr[a][t] for t in range(n))
+            d_busy = tuple(busy[off + t] - tick_busy[a][t] for t in range(n))
+            cpi = tuple(
+                d_busy[t] / d_instr[t] if d_instr[t] > 0 else 0.0 for t in range(n)
+            )
+            delta = snap.minus(app_snapshots[a])
+            obs = IntervalObservation(
+                index=interval_idx[a],
+                cpi=cpi,
+                instructions=d_instr,
+                busy_cycles=d_busy,
+                targets=tuple(l2.targets[off : off + n]),
+                l2=StatsSnapshot(
+                    accesses=delta.accesses[off : off + n],
+                    hits=delta.hits[off : off + n],
+                    misses=delta.misses[off : off + n],
+                    evictions=delta.evictions[off : off + n],
+                    inter_thread_hits=delta.inter_thread_hits[off : off + n],
+                    inter_thread_evictions=delta.inter_thread_evictions[off : off + n],
+                    intra_thread_hits=delta.intra_thread_hits[off : off + n],
+                ),
+            )
+            intervals[a].append(obs)
+            if self.runtimes is not None:
+                self.runtimes[a].on_interval(obs)
+                self._apply_targets()
+                oh = timing.partition_overhead_cycles
+                for t in range(n):
+                    if not sec_done[a][t] and app_active[a]:
+                        clock[off + t] += oh
+                        busy[off + t] += oh
+            for t in range(n):
+                tick_instr[a][t] = instr[off + t]
+                tick_busy[a][t] = busy[off + t]
+            app_snapshots[a] = snap
+            interval_idx[a] += 1
+            next_tick[a] += tick_len[a]
+            total_app_ticks += 1
+            epoch_countdown -= 1
+            if epoch_countdown <= 0:
+                epoch_countdown = self.os_epoch_intervals
+                fire_os_epoch()
+
+        def fire_os_epoch() -> None:
+            if self.runtimes is None or self.os_allocator is None:
+                return
+            snap = l2.stats.snapshot()
+            app_misses = []
+            for a2 in range(n_apps):
+                off2 = offsets[a2]
+                n2 = self.apps[a2].n_threads
+                total_m = sum(snap.misses[off2 : off2 + n2])
+                app_misses.append(total_m - epoch_miss_base[a2])
+                epoch_miss_base[a2] = total_m
+            budgets = self.os_allocator.on_epoch(
+                app_misses, [rt.budget for rt in self.runtimes]
+            )
+            if budgets is not None:
+                for rt, b in zip(self.runtimes, budgets, strict=True):
+                    rt.set_budget(b)
+                self._apply_targets()
+                budget_trace.append((total_app_ticks, list(budgets)))
+
+        # ------------------------------------------------------------------
+        active_apps = n_apps
+        while active_apps:
+            # Pick the runnable thread with the smallest clock.
+            g = -1
+            best = None
+            for k in range(self.n_total):
+                a = app_of_thread[k]
+                if not app_active[a] or sec_done[a][k - offsets[a]]:
+                    continue
+                c = clock[k]
+                if best is None or c < best:
+                    best, g = c, k
+            if g < 0:  # all remaining apps stuck at barriers (shouldn't happen)
+                break
+            a = app_of_thread[g]
+            lt = g - offsets[a]
+            addr_l, di_l, dc_l, mc_l, lens, tail_i, tail_c = streams[a]
+            i = cursors[a][lt]
+            if i >= lens[lt]:
+                clock[g] += tail_c[lt]
+                busy[g] += tail_c[lt]
+                instr[g] += tail_i[lt]
+                app_instr[a] += tail_i[lt]
+                sec_done[a][lt] = True
+                if all(sec_done[a]):
+                    # App-local barrier.
+                    off = offsets[a]
+                    n = self.apps[a].n_threads
+                    release = max(clock[off : off + n])
+                    for t in range(n):
+                        clock[off + t] = release
+                    section_idx[a] += 1
+                    if section_idx[a] >= len(self.apps[a].sections):
+                        app_active[a] = False
+                        completion[a] = release
+                        active_apps -= 1
+                    else:
+                        load_section(a)
+                if app_instr[a] >= next_tick[a]:
+                    fire_app_tick(a)
+                continue
+            lat = l2_hit if access(g, addr_l[lt][i]) else mc_l[lt][i]
+            cost = dc_l[lt][i] + lat
+            clock[g] += cost
+            busy[g] += cost
+            di = di_l[lt][i]
+            instr[g] += di
+            app_instr[a] += di
+            cursors[a][lt] = i + 1
+            if app_instr[a] >= next_tick[a]:
+                fire_app_tick(a)
+
+        results = []
+        for a in range(n_apps):
+            off = offsets[a]
+            n = self.apps[a].n_threads
+            results.append(
+                AppResult(
+                    app=self.apps[a].name,
+                    completion_cycles=completion[a],
+                    thread_instructions=tuple(instr[off : off + n]),
+                    thread_busy_cycles=tuple(busy[off : off + n]),
+                    intervals=intervals[a],
+                )
+            )
+        return MultiAppResult(
+            apps=results,
+            l2_totals=l2.stats.snapshot(),
+            budget_trace=budget_trace,
+        )

@@ -1,0 +1,114 @@
+"""Per-application runtimes under a hierarchical budget (paper Fig. 16).
+
+Each co-executing application gets an :class:`AppRuntime` that implements
+the paper's intra-application scheme *within a budget the OS may change at
+any epoch*.  Unlike the single-application policies (whose total way count
+is fixed at construction), an AppRuntime:
+
+* keeps the per-thread CPI model bank and the Fig. 13 reallocation loop,
+* rescales its current thread partition (largest remainder over current
+  proportions) whenever the OS hands it a different budget, and
+* bootstraps with CPI-proportional splits exactly like the
+  single-application policy.
+
+``mode="static-equal"`` degrades the intra layer to an equal split of the
+budget — the "OS-only partitioning" baseline the hierarchy experiment
+compares against.
+"""
+
+from __future__ import annotations
+
+from repro.core.models import ThreadModelBank
+from repro.core.records import IntervalObservation
+from repro.mathx.rounding import largest_remainder_apportion
+from repro.partition.model_based import optimize_max_cpi
+
+__all__ = ["AppRuntime"]
+
+
+class AppRuntime:
+    """Intra-application partitioner for one app in a co-execution."""
+
+    def __init__(
+        self,
+        n_threads: int,
+        initial_budget: int,
+        *,
+        mode: str = "model-based",
+        min_ways: int = 1,
+        bootstrap_intervals: int = 2,
+        alpha: float = 0.5,
+        max_step: int | None = 4,
+        min_rel_gain: float = 0.01,
+    ) -> None:
+        if mode not in ("model-based", "static-equal"):
+            raise ValueError(f"unknown intra-app mode {mode!r}")
+        if initial_budget < min_ways * n_threads:
+            raise ValueError(
+                f"budget {initial_budget} cannot give {n_threads} threads {min_ways} ways"
+            )
+        self.n_threads = n_threads
+        self.mode = mode
+        self.min_ways = min_ways
+        self.bootstrap_intervals = bootstrap_intervals
+        self.max_step = max_step
+        self.min_rel_gain = min_rel_gain
+        self.bank = ThreadModelBank(n_threads, alpha=alpha)
+        self.budget = initial_budget
+        self.targets = largest_remainder_apportion(
+            [1.0] * n_threads, initial_budget, minimum=min_ways
+        )
+        self._intervals_seen = 0
+
+    def set_budget(self, budget: int) -> None:
+        """Adopt a new OS budget, rescaling the current thread partition
+        proportionally (the runtime's learned shape survives the resize)."""
+        if budget < self.min_ways * self.n_threads:
+            raise ValueError(
+                f"budget {budget} cannot give {self.n_threads} threads "
+                f"{self.min_ways} ways each"
+            )
+        if budget == self.budget:
+            return
+        self.targets = largest_remainder_apportion(
+            self.targets, budget, minimum=self.min_ways
+        )
+        self.budget = budget
+
+    def on_interval(self, obs: IntervalObservation) -> list[int]:
+        """New intra-app thread targets for the next interval.
+
+        ``obs`` covers only this application's threads; ``obs.targets`` is
+        the partition in effect during the interval (which may predate a
+        budget change, so the optimiser always starts from the rescaled
+        ``self.targets``)."""
+        if obs.n_threads != self.n_threads:
+            raise ValueError(f"observation has {obs.n_threads} threads, expected {self.n_threads}")
+        if self.mode == "static-equal":
+            self.targets = largest_remainder_apportion(
+                [1.0] * self.n_threads, self.budget, minimum=self.min_ways
+            )
+            return list(self.targets)
+
+        for t in range(self.n_threads):
+            if obs.instructions[t] > 0:
+                self.bank.observe(t, obs.targets[t], obs.cpi[t])
+        self._intervals_seen += 1
+
+        if self._intervals_seen <= self.bootstrap_intervals or any(
+            self.bank.n_distinct(t) == 0 for t in range(self.n_threads)
+        ):
+            self.targets = largest_remainder_apportion(
+                obs.cpi, self.budget, minimum=self.min_ways
+            )
+            return list(self.targets)
+
+        self.targets = optimize_max_cpi(
+            self.bank,
+            list(self.targets),
+            self.budget,
+            min_ways=self.min_ways,
+            min_rel_gain=self.min_rel_gain,
+            max_step=self.max_step,
+        )
+        return list(self.targets)

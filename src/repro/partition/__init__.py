@@ -1,0 +1,32 @@
+"""Cache-partitioning policies: the paper's two schemes and all baselines."""
+
+from repro.partition.base import PartitioningPolicy, equal_targets
+from repro.partition.cpi import CPIProportionalPolicy
+from repro.partition.fairness import FairnessOrientedPolicy
+from repro.partition.model_based import ModelBasedPolicy, optimize_max_cpi
+from repro.partition.static import SharedCachePolicy, StaticEqualPolicy, StaticPolicy
+from repro.partition.throughput import ThroughputOrientedPolicy, greedy_min_total_misses
+
+__all__ = [
+    "CPIProportionalPolicy",
+    "FairnessOrientedPolicy",
+    "ModelBasedPolicy",
+    "PartitioningPolicy",
+    "SharedCachePolicy",
+    "StaticEqualPolicy",
+    "StaticPolicy",
+    "ThroughputOrientedPolicy",
+    "equal_targets",
+    "greedy_min_total_misses",
+    "optimize_max_cpi",
+]
+
+POLICY_REGISTRY: dict[str, type[PartitioningPolicy]] = {
+    "shared": SharedCachePolicy,
+    "static-equal": StaticEqualPolicy,
+    "cpi-proportional": CPIProportionalPolicy,
+    "model-based": ModelBasedPolicy,
+    "throughput": ThroughputOrientedPolicy,
+    "fairness": FairnessOrientedPolicy,
+}
+"""Name -> class map for policies constructible as ``cls(n_threads, total_ways)``."""

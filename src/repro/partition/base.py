@@ -1,0 +1,72 @@
+"""Partitioning policy interface.
+
+A policy is consulted by the runtime system at the end of every execution
+interval with an :class:`~repro.core.records.IntervalObservation` and may
+return a new list of per-thread way targets (summing to the cache's total
+ways) or ``None`` to leave the partition untouched.
+
+``enforce_partition`` distinguishes the unpartitioned-shared baseline
+(global LRU, targets ignored) from everything else.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.records import IntervalObservation
+
+__all__ = ["PartitioningPolicy", "equal_targets"]
+
+
+def equal_targets(n_threads: int, total_ways: int) -> list[int]:
+    """Equal split with remainder ways going to the lowest thread ids —
+    the paper's first-interval initial condition."""
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    if total_ways < n_threads:
+        raise ValueError(f"{total_ways} ways cannot give {n_threads} threads one way each")
+    base, extra = divmod(total_ways, n_threads)
+    return [base + (1 if t < extra else 0) for t in range(n_threads)]
+
+
+class PartitioningPolicy(ABC):
+    """Base class for all cache-partitioning policies."""
+
+    #: Whether the shared cache should enforce way partitions at all.
+    enforce_partition: bool = True
+
+    def __init__(self, n_threads: int, total_ways: int, *, min_ways: int = 1) -> None:
+        if min_ways < 0:
+            raise ValueError("min_ways must be >= 0")
+        if self.enforce_partition and total_ways < min_ways * n_threads:
+            raise ValueError(
+                f"{total_ways} ways cannot give {n_threads} threads {min_ways} ways each"
+            )
+        self.n_threads = n_threads
+        self.total_ways = total_ways
+        self.min_ways = min_ways
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier used in results and reports."""
+
+    def initial_targets(self) -> list[int]:
+        """Targets installed before the first interval (equal by default)."""
+        return equal_targets(self.n_threads, self.total_ways)
+
+    @abstractmethod
+    def on_interval(self, obs: IntervalObservation) -> list[int] | None:
+        """Partition decision at an interval boundary (None = keep)."""
+
+    def reset(self) -> None:
+        """Clear learned state so the policy can be reused for a new run."""
+
+    def _validate(self, targets: list[int]) -> list[int]:
+        if len(targets) != self.n_threads:
+            raise ValueError(f"expected {self.n_threads} targets, got {len(targets)}")
+        if sum(targets) != self.total_ways:
+            raise ValueError(f"targets {targets} do not sum to {self.total_ways}")
+        if any(w < self.min_ways for w in targets):
+            raise ValueError(f"targets {targets} violate min_ways={self.min_ways}")
+        return targets

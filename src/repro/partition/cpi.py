@@ -1,0 +1,35 @@
+"""CPI-proportional partitioning (paper Section VI-A, Fig. 12).
+
+At the end of each interval the cache ways are split in proportion to the
+observed per-thread CPIs::
+
+    partition_t = CPI_t / sum(CPI_i) * TotalCacheWays
+
+so the slowest (highest-CPI, critical-path) thread receives the largest
+share.  The paper notes this scheme's weakness — it assumes every thread's
+CPI responds to cache the same way — and uses it (a) as the simpler of its
+two proposed schemes and (b) as the bootstrap for the model-based scheme's
+first two intervals, because it cheaply generates a second, different
+operating point for the curve fitter.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import IntervalObservation
+from repro.mathx.rounding import largest_remainder_apportion
+from repro.partition.base import PartitioningPolicy
+
+__all__ = ["CPIProportionalPolicy"]
+
+
+class CPIProportionalPolicy(PartitioningPolicy):
+    """Ways proportional to per-thread CPI, largest-remainder rounded."""
+
+    @property
+    def name(self) -> str:
+        return "cpi-proportional"
+
+    def on_interval(self, obs: IntervalObservation) -> list[int] | None:
+        return self._validate(
+            largest_remainder_apportion(obs.cpi, self.total_ways, minimum=self.min_ways)
+        )

@@ -1,0 +1,267 @@
+"""Dynamic model-based partitioning — the paper's main scheme (§VI-B, Fig. 13).
+
+Lifecycle per the paper:
+
+1. **Interval 0**: equal partition (installed by the runtime as the
+   initial condition).
+2. **End of intervals 0 and 1**: fall back to CPI-proportional
+   partitioning.  Besides being a sensible early decision, this guarantees
+   the curve fitter sees (at least) two *different* operating points per
+   thread.
+3. **Every later interval**: fold the observed ``(ways, CPI)`` point into
+   each thread's runtime CPI model, then run the iterative reallocation:
+
+   * move one way from the lowest-CPI thread (the fastest) to the
+     highest-CPI thread (the critical-path thread);
+   * re-predict every thread's CPI from the models at the new assignment;
+   * if the *identity* of the highest-CPI thread changed, revert that last
+     move and stop — further moves would only start hurting the new
+     critical thread; otherwise repeat.
+
+The objective is exactly the paper's
+``minimise CPI_overall = max_t CPI_t`` subject to
+``sum_t Ways_t = TotalWays``.
+
+Guards beyond the paper's sketch (needed for a terminating, well-defined
+implementation): a donor must stay at or above ``min_ways``; when the
+current cheapest donor is exhausted the next-lowest-CPI thread donates;
+the loop is bounded by the total way count (each iteration permanently
+moves a way toward the critical thread, so it cannot run longer than
+there are ways to move).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.models import ThreadModelBank
+from repro.core.records import IntervalObservation
+from repro.mathx.rounding import largest_remainder_apportion
+from repro.partition.base import PartitioningPolicy
+
+__all__ = ["ModelBasedPolicy", "optimize_max_cpi"]
+
+
+def optimize_max_cpi(
+    bank: ThreadModelBank,
+    start_ways: list[int],
+    total_ways: int,
+    *,
+    min_ways: int = 1,
+    min_rel_gain: float = 0.01,
+    paper_termination: bool = False,
+    max_step: int | None = 4,
+) -> list[int]:
+    """Run the Fig. 13 reallocation loop from ``start_ways``.
+
+    Returns the way assignment at which the loop terminated.  Exposed as a
+    function (separate from the policy object) so tests and the Fig. 15
+    experiment can drive it against hand-built models.
+
+    Termination.  A move is reverted (and the loop ends) when it fails to
+    lower the predicted maximum CPI by a relative ``min_rel_gain``.  This
+    refines the paper's literal Fig. 13 rule — "exit when the identity of
+    the highest-CPI thread changes" — which deadlocks whenever the
+    runner-up thread sits just below the critical thread: the very first
+    move flips the identity, gets reverted, and the partition freezes even
+    though the predicted maximum was still falling.  Descending on the
+    predicted maximum instead lets the reallocation flow to whichever
+    thread is currently limiting the application, which is the paper's
+    stated objective (``minimise max_t CPI_t``).  The literal rule is kept
+    behind ``paper_termination=True`` (the ablation benchmark compares
+    them).  ``min_rel_gain`` also stops flat or noisy models (cache-
+    insensitive threads, the small-working-set codes) from drifting to
+    extreme partitions for zero predicted benefit.
+
+    Trust region.  ``max_step`` bounds how far any thread's allocation may
+    move from ``start_ways`` in one invocation.  The models are surrogate
+    fits that are only accurate near the way counts actually observed;
+    without the bound, linear extrapolation can promise unbounded gains
+    and the loop teleports to an extreme partition in a single interval,
+    long before any observation can correct the fantasy.  Bounded steps
+    reach the same optima over a few intervals with the models re-fitted
+    from fresh observations in between — classic trust-region iteration.
+    ``None`` disables the bound.
+    """
+    n = bank.n_threads
+    ways = [int(w) for w in start_ways]
+    if len(ways) != n:
+        raise ValueError(f"start_ways must have {n} entries")
+    if sum(ways) != total_ways:
+        raise ValueError(f"start_ways {ways} do not sum to {total_ways}")
+    if min_rel_gain < 0:
+        raise ValueError("min_rel_gain must be >= 0")
+
+    start = list(ways)
+    hi = total_ways if max_step is None else max_step
+
+    pred = bank.predict(ways)
+    # Every kept move lowers the predicted max CPI by >= min_rel_gain, so
+    # the loop is monotone; the bound is a backstop, not the terminator.
+    for _ in range(4 * total_ways + 4):
+        t_max = int(np.argmax(pred))
+        if ways[t_max] - start[t_max] >= hi:
+            break  # receiver at the trust-region boundary
+        # Donor: the lowest-CPI thread that can still give up a way.
+        donor = -1
+        donor_cpi = None
+        for t in range(n):
+            if t == t_max or ways[t] <= min_ways or start[t] - ways[t] >= hi:
+                continue
+            if donor_cpi is None or pred[t] < donor_cpi:
+                donor, donor_cpi = t, pred[t]
+        if donor < 0:
+            break  # nobody can donate; partition is as skewed as allowed
+
+        ways[t_max] += 1
+        ways[donor] -= 1
+        new_pred = pred.copy()
+        new_pred[t_max] = float(bank.model(t_max)(float(ways[t_max])))
+        new_pred[donor] = float(bank.model(donor)(float(ways[donor])))
+        new_t_max = int(np.argmax(new_pred))
+        improved = new_pred[new_t_max] < pred[t_max] * (1.0 - min_rel_gain)
+        if not improved or (paper_termination and new_t_max != t_max):
+            # Revert the move that bought nothing (or, under the literal
+            # Fig. 13 rule, the move that changed the critical thread's
+            # identity) and terminate.
+            ways[t_max] -= 1
+            ways[donor] += 1
+            break
+        pred = new_pred
+
+    assert sum(ways) == total_ways
+    return ways
+
+
+class ModelBasedPolicy(PartitioningPolicy):
+    """The dynamic curve-fitting cache-partitioning scheme (paper §VI-B)."""
+
+    def __init__(
+        self,
+        n_threads: int,
+        total_ways: int,
+        *,
+        min_ways: int = 1,
+        bootstrap_intervals: int = 2,
+        alpha: float = 0.5,
+        extrapolation: str = "linear",
+        min_rel_gain: float = 0.01,
+        paper_termination: bool = False,
+        max_step: int | None = 4,
+        probe: bool = True,
+        probe_threshold: float = 1.15,
+    ) -> None:
+        super().__init__(n_threads, total_ways, min_ways=min_ways)
+        if bootstrap_intervals < 1:
+            raise ValueError("bootstrap_intervals must be >= 1 (the fitter needs 2+ points)")
+        if probe_threshold < 1.0:
+            raise ValueError("probe_threshold must be >= 1.0")
+        self.bootstrap_intervals = bootstrap_intervals
+        self.min_rel_gain = min_rel_gain
+        self.paper_termination = paper_termination
+        self.max_step = max_step
+        self.probe = probe
+        self.probe_threshold = probe_threshold
+        self.probe_cooldown = 8
+        # Outstanding probe: (receiver, donor, baseline max CPI).
+        self._probe_state: tuple[int, int, float] | None = None
+        # Per-thread interval index before which re-probing is blocked.
+        self._cooldown_until: dict[int, int] = {}
+        self.bank = ThreadModelBank(n_threads, alpha=alpha, extrapolation=extrapolation)
+        self._intervals_seen = 0
+
+    @property
+    def name(self) -> str:
+        return "model-based"
+
+    def on_interval(self, obs: IntervalObservation) -> list[int] | None:
+        # The monitor half of the runtime: fold the interval's operating
+        # point into each thread's CPI model.
+        for t in range(self.n_threads):
+            if obs.instructions[t] > 0:
+                self.bank.observe(t, obs.targets[t], obs.cpi[t])
+        self._intervals_seen += 1
+
+        if self._intervals_seen <= self.bootstrap_intervals or any(
+            self.bank.n_distinct(t) == 0 for t in range(self.n_threads)
+        ):
+            # Paper: "At the end of first two intervals: use the previous
+            # CPI based cache partitioning."  Also taken whenever a thread
+            # has no model yet (it retired no instructions so far).
+            return self._validate(
+                largest_remainder_apportion(obs.cpi, self.total_ways, minimum=self.min_ways)
+            )
+
+        start = self._settle_probe(obs)
+        ways = optimize_max_cpi(
+            self.bank,
+            start,
+            self.total_ways,
+            min_ways=self.min_ways,
+            min_rel_gain=self.min_rel_gain,
+            paper_termination=self.paper_termination,
+            max_step=self.max_step,
+        )
+        if self.probe and ways == start:
+            ways = self._probe_step(obs, ways)
+        return self._validate(ways)
+
+    def _settle_probe(self, obs: IntervalObservation) -> list[int]:
+        """Evaluate an outstanding probe: keep it if the application's
+        overall (max) CPI improved, otherwise revert the moved way and
+        block re-probing that thread for a cooldown period."""
+        start = list(obs.targets)
+        if self._probe_state is None:
+            return start
+        receiver, donor, baseline = self._probe_state
+        self._probe_state = None
+        if obs.overall_cpi < baseline * (1.0 - self.min_rel_gain):
+            return start  # probe paid off; the new point is in the models
+        self._cooldown_until[receiver] = obs.index + self.probe_cooldown
+        if start[receiver] > self.min_ways:
+            start[receiver] -= 1
+            start[donor] += 1
+        return start
+
+    def _probe_step(self, obs: IntervalObservation, ways: list[int]) -> list[int]:
+        """Exploration when the optimiser makes no move.
+
+        A frozen partition with a clearly-critical thread usually means
+        the models have gone flat around the operating point (stale knots
+        aged out, or the thread was never observed at higher allocations —
+        the migration scenario produces exactly this).  Probing one way
+        toward the *observed* critical thread generates the fresh data
+        point the models need; :meth:`_settle_probe` keeps the way if the
+        overall CPI improved and reverts it (with a cooldown against
+        re-probing a structurally slow, cache-insensitive thread) if not.
+        Balanced applications (max CPI within ``probe_threshold`` of the
+        mean) are left alone so steady small-working-set apps do not churn.
+        """
+        cpis = obs.cpi
+        mean = sum(cpis) / len(cpis)
+        if mean <= 0:
+            return ways
+        t_max = max(range(self.n_threads), key=lambda t: cpis[t])
+        if cpis[t_max] < self.probe_threshold * mean:
+            return ways
+        if obs.index < self._cooldown_until.get(t_max, -1):
+            return ways
+        donor = -1
+        donor_cpi = None
+        for t in range(self.n_threads):
+            if t == t_max or ways[t] <= self.min_ways:
+                continue
+            if donor_cpi is None or cpis[t] < donor_cpi:
+                donor, donor_cpi = t, cpis[t]
+        if donor >= 0:
+            ways = list(ways)
+            ways[t_max] += 1
+            ways[donor] -= 1
+            self._probe_state = (t_max, donor, obs.overall_cpi)
+        return ways
+
+    def reset(self) -> None:
+        self.bank.reset()
+        self._intervals_seen = 0
+        self._probe_state = None
+        self._cooldown_until.clear()

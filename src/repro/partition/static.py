@@ -1,0 +1,62 @@
+"""Static baselines: unpartitioned shared cache and fixed partitions.
+
+* :class:`SharedCachePolicy` — the paper's "shared, unpartitioned cache"
+  baseline (Fig. 20): global LRU, every thread competes freely.
+* :class:`StaticEqualPolicy` — the "statically partitioned (private)
+  cache" baseline (Fig. 19).  The paper treats this as equivalent to a
+  private L2 per core and as the optimum of fairness-oriented schemes.
+* :class:`StaticPolicy` — an arbitrary fixed partition, used by the
+  way-sensitivity experiments (Fig. 10 runs SWIM threads at fixed 16 and
+  32 ways).
+"""
+
+from __future__ import annotations
+
+from repro.core.records import IntervalObservation
+from repro.partition.base import PartitioningPolicy, equal_targets
+
+__all__ = ["SharedCachePolicy", "StaticEqualPolicy", "StaticPolicy"]
+
+
+class SharedCachePolicy(PartitioningPolicy):
+    """Unpartitioned shared cache under global LRU."""
+
+    enforce_partition = False
+
+    @property
+    def name(self) -> str:
+        return "shared"
+
+    def on_interval(self, obs: IntervalObservation) -> list[int] | None:
+        return None
+
+
+class StaticEqualPolicy(PartitioningPolicy):
+    """Fixed equal way split (the private-cache / fairness baseline)."""
+
+    @property
+    def name(self) -> str:
+        return "static-equal"
+
+    def on_interval(self, obs: IntervalObservation) -> list[int] | None:
+        return None
+
+
+class StaticPolicy(PartitioningPolicy):
+    """An arbitrary fixed partition, validated once at construction."""
+
+    def __init__(
+        self, n_threads: int, total_ways: int, targets: list[int], *, min_ways: int = 0
+    ) -> None:
+        super().__init__(n_threads, total_ways, min_ways=min_ways)
+        self._targets = self._validate([int(v) for v in targets])
+
+    @property
+    def name(self) -> str:
+        return f"static{tuple(self._targets)}"
+
+    def initial_targets(self) -> list[int]:
+        return list(self._targets)
+
+    def on_interval(self, obs: IntervalObservation) -> list[int] | None:
+        return None

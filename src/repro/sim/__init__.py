@@ -1,0 +1,17 @@
+"""Simulation driver: configuration and end-to-end application runs."""
+
+from repro.sim.config import SystemConfig
+from repro.sim.driver import (
+    clear_program_cache,
+    make_policy,
+    prepare_program,
+    run_application,
+)
+
+__all__ = [
+    "SystemConfig",
+    "clear_program_cache",
+    "make_policy",
+    "prepare_program",
+    "run_application",
+]

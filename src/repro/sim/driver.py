@@ -1,0 +1,116 @@
+"""Top-level simulation driver.
+
+Ties together the substrates: builds (and memoises) the synthetic program
+for an application, compiles it through the private L1s once, then replays
+it under any number of partitioning policies.  Because the program and the
+L1-filtered L2 streams are identical across policies, policy comparisons
+(the paper's Figs. 19-22) are exact A/B comparisons on the same trace.
+"""
+
+from __future__ import annotations
+
+from repro.cache.shared import PartitionedSharedCache
+from repro.core.records import RunResult
+from repro.core.runtime import RuntimeSystem
+from repro.cpu.engine import CMPEngine
+from repro.cpu.streams import CompiledProgram, compile_program
+from repro.partition import POLICY_REGISTRY
+from repro.partition.base import PartitioningPolicy
+from repro.sim.config import SystemConfig
+from repro.trace.builder import build_program
+from repro.trace.workloads import WorkloadProfile, get_workload
+
+__all__ = ["clear_program_cache", "make_policy", "prepare_program", "run_application"]
+
+_PROGRAM_CACHE: dict[tuple, CompiledProgram] = {}
+
+
+def _cache_key(profile: WorkloadProfile, config: SystemConfig) -> tuple:
+    return (
+        profile.name,
+        config.n_threads,
+        config.n_intervals,
+        config.interval_instructions,
+        config.sections_per_interval,
+        config.seed,
+        config.l1_geometry,
+        config.timing,
+    )
+
+
+def prepare_program(app: str | WorkloadProfile, config: SystemConfig) -> CompiledProgram:
+    """Build + L1-compile the program for ``app``, memoised per config.
+
+    The memo is what makes multi-policy comparisons cheap: trace
+    generation and L1 filtering dominate setup cost and depend only on the
+    workload and machine front-end, never on the L2 policy.
+    """
+    profile = get_workload(app) if isinstance(app, str) else app
+    key = _cache_key(profile, config)
+    compiled = _PROGRAM_CACHE.get(key)
+    if compiled is None:
+        program = build_program(
+            profile,
+            n_threads=config.n_threads,
+            n_intervals=config.n_intervals,
+            interval_instructions=config.interval_instructions,
+            sections_per_interval=config.sections_per_interval,
+            seed=config.seed,
+            line_bytes=config.line_bytes,
+        )
+        compiled = compile_program(program, config.l1_geometry, config.timing)
+        _PROGRAM_CACHE[key] = compiled
+    return compiled
+
+
+def clear_program_cache() -> None:
+    """Drop all memoised compiled programs (tests use this to bound memory)."""
+    _PROGRAM_CACHE.clear()
+
+
+def make_policy(policy: str | PartitioningPolicy, config: SystemConfig) -> PartitioningPolicy:
+    """Resolve a policy name (see ``repro.partition.POLICY_REGISTRY``) or
+    pass an already-constructed policy through."""
+    if isinstance(policy, PartitioningPolicy):
+        return policy
+    try:
+        cls = POLICY_REGISTRY[policy]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {policy!r}; known: {', '.join(sorted(POLICY_REGISTRY))}"
+        ) from None
+    return cls(config.n_threads, config.total_ways, min_ways=config.min_ways)
+
+
+def run_application(
+    app: str | WorkloadProfile,
+    policy: str | PartitioningPolicy,
+    config: SystemConfig | None = None,
+) -> RunResult:
+    """Simulate one application under one partitioning policy.
+
+    This is the main public entry point::
+
+        result = run_application("swim", "model-based")
+        baseline = run_application("swim", "shared")
+        print(result.speedup_over(baseline))
+    """
+    config = config or SystemConfig.default()
+    compiled = prepare_program(app, config)
+    policy_obj = make_policy(policy, config)
+    policy_obj.reset()
+    runtime = RuntimeSystem(policy_obj)
+    l2 = PartitionedSharedCache(
+        config.l2_geometry,
+        config.n_threads,
+        enforce_partition=policy_obj.enforce_partition,
+        targets=runtime.initial_targets(),
+    )
+    engine = CMPEngine(
+        compiled,
+        l2,
+        config.timing,
+        runtime,
+        interval_instructions=config.interval_instructions,
+    )
+    return engine.run()

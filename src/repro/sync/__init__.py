@@ -1,0 +1,12 @@
+"""Parallel-program structure and barrier accounting (paper §III-B)."""
+
+from repro.sync.barrier import BarrierEvent, BarrierLog
+from repro.sync.program import Section, SyntheticProgram, ThreadWork
+
+__all__ = [
+    "BarrierEvent",
+    "BarrierLog",
+    "Section",
+    "SyntheticProgram",
+    "ThreadWork",
+]

@@ -1,0 +1,75 @@
+"""Barrier accounting: arrival times, critical-path thread, slack.
+
+The simulator resolves barriers analytically (all threads resume at the
+latest arrival cycle), so the "barrier" here is a bookkeeping object: it
+records per-section arrival cycles and derives the quantities the paper
+reasons about — which thread was on the critical path, and how much slack
+(stall time) the other threads accumulated waiting for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BarrierEvent", "BarrierLog"]
+
+
+@dataclass(frozen=True)
+class BarrierEvent:
+    """Outcome of one barrier: per-thread arrival cycles."""
+
+    section_index: int
+    arrivals: tuple[float, ...]
+
+    @property
+    def release_cycle(self) -> float:
+        """Cycle at which all threads resume (the latest arrival)."""
+        return max(self.arrivals)
+
+    @property
+    def critical_thread(self) -> int:
+        """Thread that arrived last — the critical-path thread."""
+        arr = self.arrivals
+        release = max(arr)
+        return arr.index(release)
+
+    def slack(self, thread: int) -> float:
+        """Cycles ``thread`` spent stalled at this barrier."""
+        return self.release_cycle - self.arrivals[thread]
+
+    @property
+    def total_slack(self) -> float:
+        release = self.release_cycle
+        return sum(release - a for a in self.arrivals)
+
+
+class BarrierLog:
+    """Accumulates barrier events over a run."""
+
+    def __init__(self, n_threads: int) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self.n_threads = n_threads
+        self.events: list[BarrierEvent] = []
+
+    def record(self, section_index: int, arrivals: list[float]) -> BarrierEvent:
+        if len(arrivals) != self.n_threads:
+            raise ValueError(f"expected {self.n_threads} arrivals, got {len(arrivals)}")
+        event = BarrierEvent(section_index=section_index, arrivals=tuple(arrivals))
+        self.events.append(event)
+        return event
+
+    def critical_thread_histogram(self) -> list[int]:
+        """How many sections each thread was critical for."""
+        counts = [0] * self.n_threads
+        for ev in self.events:
+            counts[ev.critical_thread] += 1
+        return counts
+
+    def total_slack_per_thread(self) -> list[float]:
+        totals = [0.0] * self.n_threads
+        for ev in self.events:
+            release = ev.release_cycle
+            for t, a in enumerate(ev.arrivals):
+                totals[t] += release - a
+        return totals

@@ -1,0 +1,94 @@
+"""Parallel-program structure: sections bound by barriers.
+
+The paper's Section III-B describes the target program shape (Fig. 1):
+parallel sections separated by barriers, where a section completes only
+when its slowest thread — the *critical-path thread* — reaches the
+barrier, and faster threads stall.  We model a program as an ordered list
+of :class:`Section` objects, each holding one :class:`ThreadWork` per
+thread; the execution engine enforces the barrier at each section
+boundary and accounts stall (slack) time explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Section", "SyntheticProgram", "ThreadWork"]
+
+
+@dataclass(frozen=True)
+class ThreadWork:
+    """The memory-access trace of one thread within one parallel section.
+
+    ``addrs[i]`` is the byte address of the i-th memory operation and
+    ``gaps[i]`` the number of non-memory instructions retired right before
+    it.  Total instructions = ``gaps.sum() + len(addrs)``.
+    """
+
+    addrs: np.ndarray
+    gaps: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.addrs.ndim != 1 or self.gaps.ndim != 1:
+            raise ValueError("addrs and gaps must be 1-D")
+        if self.addrs.shape != self.gaps.shape:
+            raise ValueError(
+                f"addrs and gaps must be equal length, got {self.addrs.size} vs {self.gaps.size}"
+            )
+
+    @property
+    def n_mem_ops(self) -> int:
+        return int(self.addrs.size)
+
+    @property
+    def instructions(self) -> int:
+        return int(self.gaps.sum()) + self.n_mem_ops
+
+
+@dataclass(frozen=True)
+class Section:
+    """One parallel section: per-thread work, ending in a barrier."""
+
+    works: tuple[ThreadWork, ...]
+
+    def __post_init__(self) -> None:
+        if not self.works:
+            raise ValueError("a section needs at least one thread's work")
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.works)
+
+    @property
+    def instructions(self) -> int:
+        return sum(w.instructions for w in self.works)
+
+
+@dataclass(frozen=True)
+class SyntheticProgram:
+    """An ordered list of barrier-bound parallel sections plus metadata."""
+
+    name: str
+    sections: tuple[Section, ...]
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.sections:
+            raise ValueError("a program needs at least one section")
+        n = self.sections[0].n_threads
+        for i, sec in enumerate(self.sections):
+            if sec.n_threads != n:
+                raise ValueError(f"section {i} has {sec.n_threads} threads, expected {n}")
+
+    @property
+    def n_threads(self) -> int:
+        return self.sections[0].n_threads
+
+    @property
+    def instructions(self) -> int:
+        return sum(sec.instructions for sec in self.sections)
+
+    def thread_instructions(self, thread: int) -> int:
+        return sum(sec.works[thread].instructions for sec in self.sections)

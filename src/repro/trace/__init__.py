@@ -1,0 +1,37 @@
+"""Synthetic multithreaded workload substrate.
+
+Stands in for the paper's SPEC OMP / NAS binaries (see DESIGN.md §2): nine
+named profiles whose per-thread working sets, data sharing, streaming and
+phase behaviour reproduce the workload properties the paper's motivation
+section measures.
+"""
+
+from repro.trace.behavior import PhaseSegment, ThreadBehavior, behavior_schedule
+from repro.trace.builder import build_program
+from repro.trace.generator import (
+    MAX_REGION_LINES,
+    STREAM_REGION_LINES,
+    WORD_BYTES,
+    ThreadTraceGenerator,
+)
+from repro.trace.io import load_program, save_program
+from repro.trace.layout import AddressLayout
+from repro.trace.workloads import WORKLOADS, WorkloadProfile, get_workload, list_workloads
+
+__all__ = [
+    "AddressLayout",
+    "MAX_REGION_LINES",
+    "PhaseSegment",
+    "STREAM_REGION_LINES",
+    "ThreadBehavior",
+    "ThreadTraceGenerator",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "behavior_schedule",
+    "build_program",
+    "get_workload",
+    "list_workloads",
+    "load_program",
+    "save_program",
+    "WORD_BYTES",
+]

@@ -1,0 +1,139 @@
+"""Per-thread access-behaviour descriptors and phase modulation.
+
+A :class:`ThreadBehavior` captures everything the generator needs to mimic
+one OpenMP worker thread of a SPEC OMP / NAS benchmark:
+
+* ``ws_lines`` — private working-set size in cache lines.  This is the main
+  knob behind the paper's observations: threads of the same application
+  have very different cache requirements (Figure 3/4) and very different
+  *sensitivity* to added cache ways (Figure 10).
+* ``skew`` — reuse concentration.  Private/shared lines are drawn as
+  ``rank = floor(ws * u**skew)`` with ``u ~ U(0,1)``: larger skew
+  concentrates accesses on a hot subset, producing the concave
+  CPI-vs-ways curves of Figure 15; skew near 1 approaches a uniform sweep
+  (thrash-like, cache-insensitive once the WS exceeds capacity).
+* ``share_frac`` / ``stream_frac`` — fractions of memory accesses that go
+  to the application-shared region and to a sequential streaming region.
+* ``mem_ratio`` — memory operations per instruction.
+* ``stream_burst`` — fraction of a section's streaming accesses emitted as
+  one contiguous burst rather than interleaved uniformly.  Bursty
+  streaming is what makes a plain shared cache lose to a partitioned one:
+  a burst punches through the global LRU stack and flushes the other
+  threads' (notably the critical thread's) resident lines, whereas a way
+  partition contains the burst inside the streaming thread's own ways.
+  Smooth low-rate streaming mostly evicts its own dead lines from the LRU
+  tail and is far less destructive.
+* ``stream_stride_words`` — words advanced per streaming access.  1 models
+  a unit-stride sweep (one L2 line insertion per ``line/word`` accesses);
+  ``line_bytes/8`` models a column-major/transpose sweep that touches a
+  new line on every access, the highest-pollution pattern.
+
+:class:`PhaseSegment` rescales behaviours over execution intervals, which
+produces the temporal phase behaviour of Figures 6-7 (CPI and miss counts
+of SWIM varying over 50 intervals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["PhaseSegment", "ThreadBehavior"]
+
+
+@dataclass(frozen=True)
+class ThreadBehavior:
+    """Generator parameters for one thread (see module docstring)."""
+
+    ws_lines: int
+    skew: float = 2.0
+    share_frac: float = 0.1
+    stream_frac: float = 0.05
+    mem_ratio: float = 0.35
+    shared_ws_lines: int = 256
+    stream_burst: float = 0.0
+    stream_stride_words: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ws_lines < 1:
+            raise ValueError("ws_lines must be >= 1")
+        if self.shared_ws_lines < 1:
+            raise ValueError("shared_ws_lines must be >= 1")
+        if not 0.0 < self.mem_ratio <= 1.0:
+            raise ValueError("mem_ratio must be in (0, 1]")
+        if self.skew < 1.0:
+            raise ValueError("skew must be >= 1.0 (1.0 == uniform)")
+        if self.share_frac < 0 or self.stream_frac < 0:
+            raise ValueError("fractions must be non-negative")
+        if self.share_frac + self.stream_frac > 1.0:
+            raise ValueError("share_frac + stream_frac must be <= 1")
+        if not 0.0 <= self.stream_burst <= 1.0:
+            raise ValueError("stream_burst must be in [0, 1]")
+        if self.stream_stride_words < 1:
+            raise ValueError("stream_stride_words must be >= 1")
+
+    def scaled(self, ws_scale: float = 1.0, mem_scale: float = 1.0) -> "ThreadBehavior":
+        """Behaviour with working set and memory intensity rescaled.
+
+        Used by phase segments; results are clamped to valid ranges.
+        """
+        return replace(
+            self,
+            ws_lines=max(1, int(round(self.ws_lines * ws_scale))),
+            mem_ratio=min(1.0, max(0.01, self.mem_ratio * mem_scale)),
+        )
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """One execution phase: per-thread scaling active for some intervals.
+
+    ``ws_scales`` / ``mem_scales`` hold one multiplier per thread; a scale
+    list shorter than the thread count is tiled cyclically, so profiles
+    written for 4 threads extend naturally to 8-core runs (paper Fig. 22).
+    """
+
+    intervals: int
+    ws_scales: tuple[float, ...] = (1.0,)
+    mem_scales: tuple[float, ...] = (1.0,)
+
+    def __post_init__(self) -> None:
+        if self.intervals < 1:
+            raise ValueError("intervals must be >= 1")
+        if not self.ws_scales or not self.mem_scales:
+            raise ValueError("scale tuples must be non-empty")
+
+    def behavior_for(self, base: ThreadBehavior, thread: int) -> ThreadBehavior:
+        ws = self.ws_scales[thread % len(self.ws_scales)]
+        mem = self.mem_scales[thread % len(self.mem_scales)]
+        return base.scaled(ws_scale=ws, mem_scale=mem)
+
+
+def behavior_schedule(
+    base_behaviors: list[ThreadBehavior],
+    phases: list[PhaseSegment],
+    n_intervals: int,
+) -> list[list[ThreadBehavior]]:
+    """Expand (base behaviours, phase segments) into per-interval behaviours.
+
+    Returns ``schedule[interval][thread]``.  Phases repeat cyclically until
+    ``n_intervals`` are covered; an empty phase list means one steady phase.
+    """
+    if not base_behaviors:
+        raise ValueError("need at least one thread behaviour")
+    if n_intervals < 1:
+        raise ValueError("n_intervals must be >= 1")
+    if not phases:
+        phases = [PhaseSegment(intervals=n_intervals)]
+    schedule: list[list[ThreadBehavior]] = []
+    phase_idx = 0
+    left_in_phase = phases[0].intervals
+    for _ in range(n_intervals):
+        seg = phases[phase_idx % len(phases)]
+        schedule.append(
+            [seg.behavior_for(b, t) for t, b in enumerate(base_behaviors)]
+        )
+        left_in_phase -= 1
+        if left_in_phase == 0:
+            phase_idx += 1
+            left_in_phase = phases[phase_idx % len(phases)].intervals
+    return schedule

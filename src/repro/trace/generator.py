@@ -1,0 +1,153 @@
+"""Vectorised synthetic memory-trace generation.
+
+One :class:`ThreadTraceGenerator` per thread produces ``(addresses, gaps)``
+arrays for each parallel section: ``addresses[i]`` is the byte address of
+the *i*-th memory operation and ``gaps[i]`` the number of non-memory
+instructions retired immediately before it.  Generation is fully
+vectorised in NumPy (the simulator's Python loops are reserved for the
+parts with genuine sequential dependence, i.e. cache state).
+
+Working sets are laid out *contiguously*: rank ``r`` of a thread's reuse
+distribution is line ``r`` of its region.  This mirrors real numerical
+codes, whose data are arrays — a working set of N lines strides across
+cache sets uniformly.  (An earlier design scattered ranks through a random
+permutation; that gives each cache set a Poisson-distributed slice of the
+working set, and the resulting set imbalance penalises any per-set way
+quota — a modelling artifact, not a property of array codes.)
+
+Streams are deterministic for a given seed, and generator state (the RNG
+and the streaming-region cursor) persists across sections so consecutive
+sections of a program look like one continuous execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.behavior import ThreadBehavior
+from repro.trace.layout import AddressLayout
+
+__all__ = [
+    "MAX_REGION_LINES",
+    "STREAM_REGION_LINES",
+    "ThreadTraceGenerator",
+    "WORD_BYTES",
+]
+
+# Private/shared regions are index spaces of this many lines; a working set
+# addresses the first ``ws_lines`` of its region.
+MAX_REGION_LINES = 1 << 14  # 16384 lines = 1 MB at 64 B/line
+STREAM_REGION_LINES = 1 << 20
+WORD_BYTES = 8  # streaming advances one word per access (see generate())
+
+
+class ThreadTraceGenerator:
+    """Generates the access stream of a single thread.
+
+    Parameters
+    ----------
+    thread:
+        Thread index (selects the private and streaming regions).
+    layout:
+        Address-space layout shared by all threads of the application.
+    seed:
+        Per-thread RNG seed.
+    """
+
+    def __init__(self, thread: int, layout: AddressLayout, seed: int) -> None:
+        self.thread = thread
+        self.layout = layout
+        self._rng = np.random.default_rng(seed)
+        self._stream_cursor = 0
+
+    # ------------------------------------------------------------------
+    def generate(self, behavior: ThreadBehavior, n_instructions: int):
+        """Generate one section's worth of accesses for this thread.
+
+        Returns ``(addrs, gaps)`` with ``addrs`` int64 byte addresses and
+        ``gaps`` int32 preceding non-memory instruction counts.  The total
+        instruction count of the section is ``gaps.sum() + len(addrs)``,
+        which is approximately ``n_instructions``.
+        """
+        if n_instructions < 1:
+            raise ValueError("n_instructions must be >= 1")
+        if behavior.ws_lines > MAX_REGION_LINES or behavior.shared_ws_lines > MAX_REGION_LINES:
+            raise ValueError(f"working sets are limited to {MAX_REGION_LINES} lines")
+        rng = self._rng
+        n_mem = max(1, int(round(n_instructions * behavior.mem_ratio)))
+        # Geometric gaps give memory ops a mean spacing of 1/mem_ratio
+        # instructions, like a Bernoulli instruction mix would.
+        gaps = (rng.geometric(behavior.mem_ratio, size=n_mem) - 1).astype(np.int32)
+
+        stream_mask = np.zeros(n_mem, dtype=bool)
+        if behavior.stream_frac > 0.0:
+            n_stream_total = int(round(n_mem * behavior.stream_frac))
+            n_burst = int(round(n_stream_total * behavior.stream_burst))
+            if n_burst > 0:
+                # The burst is one contiguous run of streaming accesses at
+                # a random position in the section (a copy/transpose-like
+                # sweep); see ThreadBehavior.stream_burst for why this
+                # matters to the shared-vs-partitioned comparison.
+                start = int(rng.integers(0, n_mem - n_burst + 1))
+                stream_mask[start : start + n_burst] = True
+            n_iid = n_stream_total - n_burst
+            if n_iid > 0:
+                free = np.flatnonzero(~stream_mask)
+                picks = rng.choice(free, size=min(n_iid, free.size), replace=False)
+                stream_mask[picks] = True
+        u = rng.random(n_mem)
+        denom = max(1e-12, 1.0 - behavior.stream_frac)
+        shared_mask = (~stream_mask) & (u < behavior.share_frac / denom)
+        private_mask = ~(stream_mask | shared_mask)
+
+        line_bytes = self.layout.line_bytes
+        addrs = np.empty(n_mem, dtype=np.int64)
+
+        n_priv = int(private_mask.sum())
+        if n_priv:
+            lines = self._draw_ranked(rng, n_priv, behavior.ws_lines, behavior.skew)
+            addrs[private_mask] = self.layout.private_base(self.thread) + lines * line_bytes
+
+        n_shared = int(shared_mask.sum())
+        if n_shared:
+            lines = self._draw_ranked(rng, n_shared, behavior.shared_ws_lines, behavior.skew)
+            addrs[shared_mask] = self.layout.shared_base() + lines * line_bytes
+
+        n_stream = int(stream_mask.sum())
+        if n_stream:
+            # Streaming walks the region at *word* granularity: sequential
+            # code touches every word of a line, so the L1 absorbs
+            # line_bytes/WORD_BYTES - 1 of every line_bytes/WORD_BYTES
+            # accesses and the L2 sees one (always-missing, polluting)
+            # access per line.  Modelling streams at line granularity would
+            # make every streaming access an L2 miss and no realistic
+            # thread could both stream and be fast.
+            region_bytes = STREAM_REGION_LINES * line_bytes
+            stride = behavior.stream_stride_words
+            seq = self._stream_cursor + np.arange(n_stream, dtype=np.int64) * stride
+            self._stream_cursor = int(self._stream_cursor + n_stream * stride)
+            addrs[stream_mask] = self.layout.stream_base(self.thread) + (
+                (seq * WORD_BYTES) % region_bytes
+            )
+
+        return addrs, gaps
+
+    @staticmethod
+    def _draw_ranked(
+        rng: np.random.Generator,
+        n: int,
+        ws_lines: int,
+        skew: float,
+    ) -> np.ndarray:
+        """Draw ``n`` line indices from ``[0, ws_lines)`` with power-law
+        reuse concentration.
+
+        ``rank = floor(ws * u**skew)``: skew 1.0 is a uniform sweep of the
+        working set; larger skews focus reuse on the low ranks, giving the
+        concave miss-vs-capacity behaviour real applications show.  Ranks
+        map directly to contiguous lines (see module docstring).
+        """
+        ws = min(ws_lines, MAX_REGION_LINES)
+        ranks = np.floor(ws * rng.random(n) ** skew).astype(np.int64)
+        np.clip(ranks, 0, ws - 1, out=ranks)
+        return ranks

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cpu.timing import TimingModel
+from repro.sim.config import SystemConfig
+
+
+@pytest.fixture
+def small_geometry() -> CacheGeometry:
+    """A tiny cache: 4 sets x 4 ways x 64 B = 1 KB."""
+    return CacheGeometry(sets=4, ways=4)
+
+
+@pytest.fixture
+def timing() -> TimingModel:
+    return TimingModel()
+
+
+@pytest.fixture
+def quick_config() -> SystemConfig:
+    return SystemConfig.quick()
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """Smallest end-to-end configuration that still exercises intervals,
+    sections and partitioning: used where a test needs a full run."""
+    return SystemConfig(
+        n_threads=4,
+        l2_geometry=CacheGeometry(sets=16, ways=8),
+        interval_instructions=1_500,
+        n_intervals=5,
+        sections_per_interval=2,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+def line_address(geometry: CacheGeometry, set_index: int, tag: int) -> int:
+    """Compose a byte address hitting ``set_index`` with ``tag``."""
+    return (tag << (geometry.offset_bits + geometry.index_bits)) | (
+        set_index << geometry.offset_bits
+    )

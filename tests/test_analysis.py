@@ -1,0 +1,171 @@
+"""Tests for the stack-distance / oracle-partition analysis package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.oracle import oracle_static_policy, oracle_static_targets
+from repro.analysis.partition_opt import optimal_static_partition
+from repro.analysis.stackdist import COLD, lru_stack_distances, miss_curve, working_set_lines
+from repro.cache.geometry import CacheGeometry
+from repro.cache.shared import PartitionedSharedCache
+from repro.sim.driver import run_application
+
+from .conftest import line_address
+
+
+@pytest.fixture
+def geo():
+    return CacheGeometry(sets=2, ways=4, line_bytes=64)
+
+
+def seq(geo, set_index, *tags):
+    return np.array([line_address(geo, set_index, t) for t in tags], dtype=np.int64)
+
+
+class TestStackDistances:
+    def test_cold_accesses(self, geo):
+        d = lru_stack_distances(seq(geo, 0, 1, 2, 3), geo)
+        assert list(d) == [COLD, COLD, COLD]
+
+    def test_immediate_rereference_distance_zero(self, geo):
+        d = lru_stack_distances(seq(geo, 0, 1, 1), geo)
+        assert list(d) == [COLD, 0]
+
+    def test_classic_sequence(self, geo):
+        # a b c a : a's re-reference has seen b, c -> distance 2.
+        d = lru_stack_distances(seq(geo, 0, 1, 2, 3, 1), geo)
+        assert list(d) == [COLD, COLD, COLD, 2]
+
+    def test_sets_independent(self, geo):
+        addrs = np.concatenate([seq(geo, 0, 1), seq(geo, 1, 9), seq(geo, 0, 1)])
+        d = lru_stack_distances(addrs, geo)
+        assert list(d) == [COLD, COLD, 0]
+
+    def test_2d_rejected(self, geo):
+        with pytest.raises(ValueError):
+            lru_stack_distances(np.zeros((2, 2), dtype=np.int64), geo)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300))
+    def test_property_curve_matches_real_cache(self, tags):
+        """The Mattson curve at associativity w must equal the misses an
+        actual w-way LRU cache takes on the same trace."""
+        geo = CacheGeometry(sets=2, ways=4, line_bytes=64)
+        addrs = np.array([line_address(geo, t % 2, t) for t in tags], dtype=np.int64)
+        curve = miss_curve(addrs, geo, 4)
+        for ways in (1, 2, 4):
+            ref_geo = CacheGeometry(sets=2, ways=ways, line_bytes=64)
+            cache = PartitionedSharedCache(ref_geo, 1, enforce_partition=False)
+            misses = sum(0 if cache.access(0, int(a)) else 1 for a in addrs)
+            assert curve[ways] == misses, f"ways={ways}"
+
+
+class TestMissCurve:
+    def test_monotone_nonincreasing(self, geo, rng):
+        addrs = rng.integers(0, 1 << 12, size=2000, dtype=np.int64)
+        curve = miss_curve(addrs, geo, 8)
+        assert all(curve[i] >= curve[i + 1] for i in range(8))
+
+    def test_zero_ways_all_miss(self, geo):
+        addrs = seq(geo, 0, 1, 1, 1)
+        assert miss_curve(addrs, geo, 4)[0] == 3
+
+    def test_empty_trace(self, geo):
+        curve = miss_curve(np.empty(0, dtype=np.int64), geo, 4)
+        assert list(curve) == [0] * 5
+
+    def test_compulsory_floor(self, geo):
+        # Even at huge associativity, cold misses remain.
+        addrs = seq(geo, 0, 1, 2, 3, 1, 2, 3)
+        curve = miss_curve(addrs, geo, 8)
+        assert curve[8] == 3
+
+    def test_negative_ways_rejected(self, geo):
+        with pytest.raises(ValueError):
+            miss_curve(seq(geo, 0, 1), geo, -1)
+
+
+class TestWorkingSet:
+    def test_counts_distinct_lines(self, geo):
+        addrs = seq(geo, 0, 1, 1, 2, 3, 2)
+        assert working_set_lines(addrs, geo) == 3
+
+    def test_empty(self, geo):
+        assert working_set_lines(np.empty(0, dtype=np.int64), geo) == 0
+
+
+class TestOptimalPartition:
+    def test_total_objective_simple(self):
+        # Thread 0's curve is steep, thread 1's flat: 0 should get more.
+        c0 = np.array([100, 50, 20, 5, 1, 0, 0, 0, 0], dtype=float)
+        c1 = np.array([10, 9, 8, 8, 8, 8, 8, 8, 8], dtype=float)
+        out = optimal_static_partition([c0, c1], 8, min_ways=1, objective="total")
+        assert out[0] > out[1]
+        assert sum(out) == 8
+
+    def test_matches_bruteforce_total(self, rng):
+        curves = [np.sort(rng.random(9))[::-1] for _ in range(3)]
+        out = optimal_static_partition(curves, 8, min_ways=1, objective="total")
+        best = None
+        for a in range(1, 7):
+            for b in range(1, 8 - a):
+                c = 8 - a - b
+                if c < 1:
+                    continue
+                val = curves[0][a] + curves[1][b] + curves[2][c]
+                if best is None or val < best[0]:
+                    best = (val, [a, b, c])
+        got = curves[0][out[0]] + curves[1][out[1]] + curves[2][out[2]]
+        assert got == pytest.approx(best[0])
+
+    def test_matches_bruteforce_max(self, rng):
+        curves = [np.sort(rng.random(9))[::-1] for _ in range(3)]
+        out = optimal_static_partition(curves, 8, min_ways=1, objective="max")
+        best = None
+        for a in range(1, 7):
+            for b in range(1, 8 - a):
+                c = 8 - a - b
+                if c < 1:
+                    continue
+                val = max(curves[0][a], curves[1][b], curves[2][c])
+                best = val if best is None else min(best, val)
+        got = max(curves[t][out[t]] for t in range(3))
+        assert got == pytest.approx(best)
+
+    def test_min_ways_respected(self):
+        c = np.zeros(9)
+        out = optimal_static_partition([c, c, c], 8, min_ways=2)
+        assert all(v >= 2 for v in out)
+
+    def test_short_curve_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_static_partition([np.zeros(4)], 8)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_static_partition([np.zeros(9)], 8, objective="median")
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_static_partition([np.zeros(9), np.zeros(9)], 8, min_ways=5)
+
+
+class TestOracle:
+    def test_targets_valid(self, tiny_config):
+        targets = oracle_static_targets("cg", tiny_config, objective="max")
+        assert sum(targets) == tiny_config.total_ways
+        assert min(targets) >= tiny_config.min_ways
+
+    def test_oracle_beats_equal_static_on_contended_app(self, tiny_config):
+        oracle = run_application(
+            "cg", oracle_static_policy("cg", tiny_config, objective="max"), tiny_config
+        )
+        equal = run_application("cg", "static-equal", tiny_config)
+        assert oracle.total_cycles <= equal.total_cycles * 1.02
+
+    def test_objectives_differ_in_general(self, tiny_config):
+        t_total = oracle_static_targets("cg", tiny_config, objective="total")
+        t_max = oracle_static_targets("cg", tiny_config, objective="max")
+        assert sum(t_total) == sum(t_max) == tiny_config.total_ways

@@ -1,0 +1,94 @@
+"""Tests for cache geometry and address decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = CacheGeometry(sets=32, ways=32, line_bytes=64)
+        assert g.size_bytes == 32 * 32 * 64
+
+    def test_from_size(self):
+        g = CacheGeometry.from_size(64 * 1024, ways=32, line_bytes=64)
+        assert g.sets == 32
+        assert g.size_bytes == 64 * 1024
+
+    def test_from_size_paper_l1(self):
+        g = CacheGeometry.from_size(8 * 1024, ways=4, line_bytes=64)
+        assert g.sets == 32
+
+    def test_from_size_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry.from_size(1000, ways=3, line_bytes=64)
+
+    def test_from_size_not_line_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry.from_size(100, ways=2, line_bytes=64)
+
+    def test_nonpow2_sets_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=3, ways=4)
+
+    def test_nonpow2_line_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=4, ways=4, line_bytes=48)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=4, ways=0)
+
+    def test_frozen(self):
+        g = CacheGeometry(sets=4, ways=4)
+        with pytest.raises(AttributeError):
+            g.sets = 8  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({CacheGeometry(4, 4), CacheGeometry(4, 4), CacheGeometry(8, 4)}) == 2
+
+
+class TestAddressing:
+    def test_offset_and_index_bits(self):
+        g = CacheGeometry(sets=32, ways=4, line_bytes=64)
+        assert g.offset_bits == 6
+        assert g.index_bits == 5
+
+    def test_set_index_wraps(self):
+        g = CacheGeometry(sets=4, ways=2, line_bytes=64)
+        assert g.set_index(0) == 0
+        assert g.set_index(64) == 1
+        assert g.set_index(64 * 4) == 0
+
+    def test_tag_excludes_index_and_offset(self):
+        g = CacheGeometry(sets=4, ways=2, line_bytes=64)
+        assert g.tag(0) == 0
+        assert g.tag(64 * 4) == 1
+        # Same tag, different sets.
+        assert g.tag(64) == 0
+
+    def test_line_address_masks_offset(self):
+        g = CacheGeometry(sets=4, ways=2, line_bytes=64)
+        assert g.line_address(130) == 128
+
+    def test_way_bytes(self):
+        g = CacheGeometry(sets=32, ways=32, line_bytes=64)
+        assert g.way_bytes() == 32 * 64
+
+    def test_sequential_lines_stride_sets_uniformly(self):
+        g = CacheGeometry(sets=8, ways=2, line_bytes=64)
+        sets = [g.set_index(i * 64) for i in range(32)]
+        # Each set hit exactly 4 times.
+        assert all(sets.count(s) == 4 for s in range(8))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**60))
+    def test_property_roundtrip(self, addr):
+        g = CacheGeometry(sets=32, ways=4, line_bytes=64)
+        s = g.set_index(addr)
+        t = g.tag(addr)
+        rebuilt = (t << (g.offset_bits + g.index_bits)) | (s << g.offset_bits)
+        assert rebuilt == g.line_address(addr)
+        assert 0 <= s < g.sets

@@ -1,0 +1,89 @@
+"""Tests for the private L1 cache and the batch trace filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.l1 import PrivateCache, simulate_l1_filter
+
+from .conftest import line_address
+
+
+@pytest.fixture
+def geo():
+    return CacheGeometry(sets=4, ways=2, line_bytes=64)
+
+
+class TestPrivateCache:
+    def test_hit_after_miss(self, geo):
+        c = PrivateCache(geo)
+        assert c.access(100) is False
+        assert c.access(100) is True
+
+    def test_same_line_different_offsets_hit(self, geo):
+        c = PrivateCache(geo)
+        c.access(128)
+        assert c.access(129) is True
+        assert c.access(191) is True
+
+    def test_lru_within_set(self, geo):
+        c = PrivateCache(geo)
+        a = [line_address(geo, 0, t) for t in range(3)]
+        c.access(a[0])
+        c.access(a[1])
+        c.access(a[0])  # refresh 0
+        c.access(a[2])  # evicts 1
+        assert c.access(a[0]) is True
+        assert c.access(a[1]) is False
+
+    def test_stats_single_thread(self, geo):
+        c = PrivateCache(geo)
+        c.access(0)
+        c.access(0)
+        assert c.stats.accesses == [2]
+        assert c.stats.hits == [1]
+
+
+class TestBatchFilter:
+    def test_matches_object_cache(self, geo, rng):
+        addrs = rng.integers(0, 4096, size=2000, dtype=np.int64)
+        mask = simulate_l1_filter(addrs, geo)
+        ref = PrivateCache(geo)
+        expected = np.array([ref.access(int(a)) for a in addrs])
+        assert np.array_equal(mask, expected)
+
+    def test_empty_trace(self, geo):
+        assert simulate_l1_filter(np.empty(0, dtype=np.int64), geo).size == 0
+
+    def test_repeated_address_all_hits_after_first(self, geo):
+        addrs = np.full(10, 512, dtype=np.int64)
+        mask = simulate_l1_filter(addrs, geo)
+        assert not mask[0]
+        assert mask[1:].all()
+
+    def test_streaming_word_stride_hits_within_line(self, geo):
+        # Sequential 8-byte words: 1 miss per 8 accesses (64 B lines).
+        addrs = np.arange(0, 64 * 16, 8, dtype=np.int64)
+        mask = simulate_l1_filter(addrs, geo)
+        assert int((~mask).sum()) == 16
+
+    def test_streaming_line_stride_never_hits(self, geo):
+        addrs = np.arange(0, 64 * 1000, 64, dtype=np.int64)
+        mask = simulate_l1_filter(addrs, geo)
+        assert not mask.any()
+
+    def test_2d_input_rejected(self, geo):
+        with pytest.raises(ValueError):
+            simulate_l1_filter(np.zeros((2, 2), dtype=np.int64), geo)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**20), min_size=1, max_size=500))
+    def test_property_matches_reference(self, addr_list):
+        geo = CacheGeometry(sets=2, ways=2, line_bytes=64)
+        addrs = np.array(addr_list, dtype=np.int64)
+        mask = simulate_l1_filter(addrs, geo)
+        ref = PrivateCache(geo)
+        expected = np.array([ref.access(int(a)) for a in addrs])
+        assert np.array_equal(mask, expected)

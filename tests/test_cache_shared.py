@@ -1,0 +1,280 @@
+"""Tests for the partitioned shared cache (paper Section V mechanism)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.shared import PartitionedSharedCache
+
+from .conftest import line_address
+
+
+def addr(geo, set_index, tag):
+    return line_address(geo, set_index, tag)
+
+
+@pytest.fixture
+def geo():
+    return CacheGeometry(sets=4, ways=4, line_bytes=64)
+
+
+class TestBasicCaching:
+    def test_first_access_misses_second_hits(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        a = addr(geo, 0, 1)
+        assert c.access(0, a) is False
+        assert c.access(0, a) is True
+
+    def test_different_sets_do_not_conflict(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        for s in range(geo.sets):
+            assert c.access(0, addr(geo, s, 7)) is False
+        for s in range(geo.sets):
+            assert c.access(0, addr(geo, s, 7)) is True
+
+    def test_lru_eviction_order_unpartitioned(self, geo):
+        c = PartitionedSharedCache(geo, 1, enforce_partition=False)
+        # Fill set 0 with tags 0..3, then access tag 0 to refresh it.
+        for t in range(4):
+            c.access(0, addr(geo, 0, t))
+        c.access(0, addr(geo, 0, 0))
+        # Insert a new tag: LRU victim must be tag 1 (oldest untouched).
+        c.access(0, addr(geo, 0, 9))
+        assert c.contains(addr(geo, 0, 0))
+        assert not c.contains(addr(geo, 0, 1))
+        assert c.contains(addr(geo, 0, 2))
+
+    def test_capacity_not_exceeded(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        for t in range(100):
+            c.access(t % 2, addr(geo, 0, t))
+        assert sum(c.set_occupancy(0)) == geo.ways
+
+    def test_cold_fills_do_not_evict(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        for t in range(geo.ways):
+            c.access(0, addr(geo, 0, t))
+        assert sum(c.stats.evictions) == 0
+
+    def test_flush_empties_cache(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        a = addr(geo, 1, 5)
+        c.access(0, a)
+        c.flush()
+        assert not c.contains(a)
+        assert c.access(0, a) is False
+
+    def test_owner_of(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        a = addr(geo, 2, 3)
+        assert c.owner_of(a) is None
+        c.access(1, a)
+        assert c.owner_of(a) == 1
+
+
+class TestPartitionEnforcement:
+    def test_targets_validation(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        with pytest.raises(ValueError):
+            c.set_targets([1, 1])  # doesn't sum to 4
+        with pytest.raises(ValueError):
+            c.set_targets([5, -1])
+        with pytest.raises(ValueError):
+            c.set_targets([4])
+
+    def test_equal_default_targets(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        assert c.targets == [2, 2]
+
+    def test_occupancy_converges_to_targets(self, geo):
+        c = PartitionedSharedCache(geo, 2, targets=[3, 1])
+        # Both threads hammer the same set with disjoint, oversized tag
+        # streams; occupancy must converge to the 3/1 split.
+        for i in range(200):
+            c.access(0, addr(geo, 0, i % 8))
+            c.access(1, addr(geo, 0, 100 + i % 8))
+        assert c.set_occupancy(0) == [3, 1]
+
+    def test_retargeting_shifts_occupancy_gradually(self, geo):
+        c = PartitionedSharedCache(geo, 2, targets=[2, 2])
+        for i in range(100):
+            c.access(0, addr(geo, 0, i % 8))
+            c.access(1, addr(geo, 0, 100 + i % 8))
+        assert c.set_occupancy(0) == [2, 2]
+        c.set_targets([1, 3])
+        for i in range(100):
+            c.access(0, addr(geo, 0, i % 8))
+            c.access(1, addr(geo, 0, 100 + i % 8))
+        assert c.set_occupancy(0) == [1, 3]
+
+    def test_under_target_thread_evicts_over_target_lines(self, geo):
+        c = PartitionedSharedCache(geo, 2, targets=[2, 2])
+        # Thread 0 fills the whole set (over target).
+        for t in range(4):
+            c.access(0, addr(geo, 0, t))
+        # Thread 1 (under target) misses: must evict a thread-0 line.
+        c.access(1, addr(geo, 0, 50))
+        assert c.set_occupancy(0) == [3, 1]
+
+    def test_at_target_thread_evicts_own_lru_line(self, geo):
+        c = PartitionedSharedCache(geo, 2, targets=[2, 2])
+        for t in range(2):
+            c.access(0, addr(geo, 0, t))
+        for t in range(2):
+            c.access(1, addr(geo, 0, 10 + t))
+        # Thread 0 at target: inserting a new line evicts its own LRU (tag 0).
+        c.access(0, addr(geo, 0, 5))
+        assert not c.contains(addr(geo, 0, 0))
+        assert c.contains(addr(geo, 0, 10))
+        assert c.contains(addr(geo, 0, 11))
+        assert c.set_occupancy(0) == [2, 2]
+
+    def test_cross_partition_hits_allowed(self, geo):
+        """The key intra-application property: a thread can HIT on a line
+        in another thread's partition (constructive sharing preserved)."""
+        c = PartitionedSharedCache(geo, 2, targets=[2, 2])
+        a = addr(geo, 3, 42)
+        c.access(0, a)
+        assert c.access(1, a) is True
+        # Ownership (quota accounting) stays with the inserter.
+        assert c.owner_of(a) == 0
+
+    def test_protected_thread_keeps_lines_under_attack(self, geo):
+        """A thread at its target cannot destroy another's partition."""
+        c = PartitionedSharedCache(geo, 2, targets=[2, 2])
+        a0, a1 = addr(geo, 0, 1), addr(geo, 0, 2)
+        c.access(0, a0)
+        c.access(0, a1)
+        # Thread 1 streams 100 distinct lines through the same set.
+        for i in range(100):
+            c.access(1, addr(geo, 0, 1000 + i))
+        assert c.contains(a0)
+        assert c.contains(a1)
+
+    def test_unenforced_mode_is_vulnerable_to_streaming(self, geo):
+        """Contrast with the shared baseline: global LRU lets the stream
+        flush the other thread's lines."""
+        c = PartitionedSharedCache(geo, 2, enforce_partition=False)
+        a0 = addr(geo, 0, 1)
+        c.access(0, a0)
+        for i in range(100):
+            c.access(1, addr(geo, 0, 1000 + i))
+        assert not c.contains(a0)
+
+    def test_zero_target_thread_falls_back_to_global_lru(self, geo):
+        c = PartitionedSharedCache(geo, 2, targets=[4, 0])
+        for t in range(4):
+            c.access(0, addr(geo, 0, t))
+        # Thread 1 (target 0, owns nothing) misses; must still make progress.
+        assert c.access(1, addr(geo, 0, 99)) is False
+        assert c.contains(addr(geo, 0, 99))
+
+    def test_too_few_ways_for_threads_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionedSharedCache(CacheGeometry(sets=2, ways=2), 4)
+
+
+class TestStatistics:
+    def test_hits_misses_counted_per_thread(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        a = addr(geo, 0, 1)
+        c.access(0, a)
+        c.access(0, a)
+        c.access(1, a)
+        assert c.stats.accesses == [2, 1]
+        assert c.stats.misses == [1, 0]
+        assert c.stats.hits == [1, 1]
+
+    def test_inter_thread_hit_classification(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        a = addr(geo, 0, 1)
+        c.access(0, a)
+        c.access(1, a)  # inter-thread (previous accessor was 0)
+        c.access(1, a)  # intra-thread now
+        assert c.stats.inter_thread_hits == [0, 1]
+        assert c.stats.intra_thread_hits == [0, 1]
+
+    def test_inter_thread_eviction_classification(self, geo):
+        c = PartitionedSharedCache(geo, 2, enforce_partition=False)
+        # Thread 0 fills the set, thread 1 evicts one of its lines.
+        for t in range(4):
+            c.access(0, addr(geo, 0, t))
+        c.access(1, addr(geo, 0, 50))
+        assert c.stats.inter_thread_evictions == [0, 1]
+        assert c.stats.evictions == [0, 1]
+
+    def test_own_eviction_not_inter_thread(self, geo):
+        c = PartitionedSharedCache(geo, 1, enforce_partition=False)
+        for t in range(5):
+            c.access(0, addr(geo, 0, t))
+        assert c.stats.evictions == [1]
+        assert c.stats.inter_thread_evictions == [0]
+
+    def test_snapshot_delta(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        c.access(0, addr(geo, 0, 1))
+        snap1 = c.stats.snapshot()
+        c.access(0, addr(geo, 0, 1))
+        c.access(1, addr(geo, 0, 2))
+        delta = c.stats.snapshot().minus(snap1)
+        assert delta.accesses == (1, 1)
+        assert delta.hits == (1, 0)
+        assert delta.misses == (0, 1)
+
+    def test_occupancy_totals(self, geo):
+        c = PartitionedSharedCache(geo, 2)
+        c.access(0, addr(geo, 0, 1))
+        c.access(1, addr(geo, 2, 1))
+        assert c.occupancy() == [1, 1]
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=15),
+            ),
+            min_size=1,
+            max_size=300,
+        ),
+        st.booleans(),
+    )
+    def test_property_internal_consistency(self, accesses, enforce):
+        geo = CacheGeometry(sets=4, ways=4, line_bytes=64)
+        c = PartitionedSharedCache(geo, 3, enforce_partition=enforce, targets=[2, 1, 1])
+        for thread, s, tag in accesses:
+            c.access(thread, addr(geo, s, tag))
+        c.check_invariants()
+        stats = c.stats
+        for t in range(3):
+            assert stats.hits[t] + stats.misses[t] == stats.accesses[t]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=63),
+            ),
+            min_size=50,
+            max_size=400,
+        )
+    )
+    def test_property_partition_bounds_after_convergence(self, accesses):
+        """Whatever state random traffic leaves the set in, a deterministic
+        phase of guaranteed misses from both threads converges occupancy to
+        the targets exactly."""
+        geo = CacheGeometry(sets=4, ways=4, line_bytes=64)
+        c = PartitionedSharedCache(geo, 2, targets=[3, 1])
+        for thread, tag in accesses:
+            # Thread-disjoint tag spaces force misses from both threads.
+            c.access(thread, addr(geo, 0, tag + thread * 1000))
+        for i in range(16):
+            c.access(0, addr(geo, 0, 5000 + i))
+            c.access(1, addr(geo, 0, 9000 + i))
+        assert c.set_occupancy(0) == [3, 1]
+        c.check_invariants()

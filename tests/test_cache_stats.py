@@ -1,0 +1,96 @@
+"""Tests for cache statistics containers."""
+
+import pytest
+
+from repro.cache.stats import CacheStats, StatsSnapshot
+
+
+def make_snapshot(**overrides) -> StatsSnapshot:
+    base = dict(
+        accesses=(10, 20),
+        hits=(6, 15),
+        misses=(4, 5),
+        evictions=(2, 1),
+        inter_thread_hits=(1, 3),
+        inter_thread_evictions=(1, 0),
+        intra_thread_hits=(5, 12),
+    )
+    base.update(overrides)
+    return StatsSnapshot(**base)
+
+
+class TestCacheStats:
+    def test_initial_zero(self):
+        s = CacheStats(3)
+        assert s.accesses == [0, 0, 0]
+        assert s.snapshot().total_accesses == 0
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            CacheStats(0)
+
+    def test_reset(self):
+        s = CacheStats(2)
+        s.accesses[0] = 5
+        s.reset()
+        assert s.accesses == [0, 0]
+
+    def test_snapshot_is_immutable_copy(self):
+        s = CacheStats(2)
+        s.accesses[0] = 5
+        snap = s.snapshot()
+        s.accesses[0] = 99
+        assert snap.accesses == (5, 0)
+        with pytest.raises(AttributeError):
+            snap.accesses = (1, 1)  # type: ignore[misc]
+
+
+class TestSnapshot:
+    def test_minus(self):
+        a = make_snapshot()
+        b = make_snapshot(accesses=(4, 8), hits=(2, 6), misses=(2, 2))
+        d = a.minus(b)
+        assert d.accesses == (6, 12)
+        assert d.hits == (4, 9)
+
+    def test_minus_length_mismatch(self):
+        a = make_snapshot()
+        b = StatsSnapshot(
+            accesses=(1,),
+            hits=(1,),
+            misses=(0,),
+            evictions=(0,),
+            inter_thread_hits=(0,),
+            inter_thread_evictions=(0,),
+            intra_thread_hits=(1,),
+        )
+        with pytest.raises(ValueError):
+            a.minus(b)
+
+    def test_totals(self):
+        s = make_snapshot()
+        assert s.total_accesses == 30
+        assert s.total_misses == 9
+
+    def test_miss_rate_per_thread_and_global(self):
+        s = make_snapshot()
+        assert s.miss_rate(0) == pytest.approx(0.4)
+        assert s.miss_rate() == pytest.approx(9 / 30)
+
+    def test_miss_rate_zero_accesses(self):
+        s = make_snapshot(accesses=(0, 0), hits=(0, 0), misses=(0, 0))
+        assert s.miss_rate() == 0.0
+        assert s.miss_rate(0) == 0.0
+
+    def test_inter_thread_fraction(self):
+        s = make_snapshot()
+        # (1+3) hits + (1+0) evictions over 30 accesses
+        assert s.inter_thread_fraction() == pytest.approx(5 / 30)
+
+    def test_constructive_fraction(self):
+        s = make_snapshot()
+        assert s.constructive_fraction() == pytest.approx(4 / 5)
+
+    def test_constructive_fraction_no_interactions(self):
+        s = make_snapshot(inter_thread_hits=(0, 0), inter_thread_evictions=(0, 0))
+        assert s.constructive_fraction() == 0.0

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "swim"])
+        assert args.app == "swim"
+        assert args.policy == "model-based"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "swim", "--policy", "bogus"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig20"])
+        assert args.name == "fig20"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+QUICK = ["--intervals", "6", "--interval-instructions", "3000"]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "swim" in out
+        assert "model-based" in out
+        assert "fig20" in out
+
+    def test_run_table(self, capsys):
+        assert main(["run", "ft", "--policy", "shared", *QUICK]) == 0
+        out = capsys.readouterr().out
+        assert "ft under shared" in out
+        assert "busy CPI" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "ft", "--policy", "shared", "--json", *QUICK]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["app"] == "ft"
+        assert data["total_cycles"] > 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "ft", *QUICK]) == 0
+        out = capsys.readouterr().out
+        assert "vs shared" in out
+        assert "ft" in out
+
+    def test_compare_unknown_app(self, capsys):
+        assert main(["compare", "not-an-app", *QUICK]) == 2
+        assert "unknown workloads" in capsys.readouterr().err
+
+    def test_figure_fig2(self, capsys):
+        assert main(["figure", "fig2", *QUICK]) == 0
+        assert "system configuration" in capsys.readouterr().out
+
+    def test_figure_json(self, capsys):
+        assert main(["figure", "fig2", "--json", *QUICK]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["figure"].startswith("Figure 2")

@@ -1,0 +1,130 @@
+"""Tests for the runtime thread model bank."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import ThreadModelBank
+
+
+class TestObserve:
+    def test_first_observation_taken_verbatim(self):
+        bank = ThreadModelBank(2, alpha=0.5)
+        bank.observe(0, 8, 4.0)
+        assert bank.model(0)(8.0) == pytest.approx(4.0)
+
+    def test_ewma_update(self):
+        bank = ThreadModelBank(1, alpha=0.5)
+        bank.observe(0, 8, 4.0)
+        bank.observe(0, 8, 8.0)
+        ways, vals = bank.points(0)
+        assert vals[0] == pytest.approx(6.0)
+
+    def test_alpha_one_replaces(self):
+        bank = ThreadModelBank(1, alpha=1.0)
+        bank.observe(0, 8, 4.0)
+        bank.observe(0, 8, 10.0)
+        _, vals = bank.points(0)
+        assert vals[0] == pytest.approx(10.0)
+
+    def test_distinct_count(self):
+        bank = ThreadModelBank(1)
+        bank.observe(0, 4, 2.0)
+        bank.observe(0, 8, 1.0)
+        bank.observe(0, 4, 2.5)
+        assert bank.n_distinct(0) == 2
+
+    def test_invalid_thread(self):
+        bank = ThreadModelBank(2)
+        with pytest.raises(IndexError):
+            bank.observe(5, 4, 1.0)
+
+    def test_invalid_value(self):
+        bank = ThreadModelBank(1)
+        with pytest.raises(ValueError):
+            bank.observe(0, 4, float("nan"))
+        with pytest.raises(ValueError):
+            bank.observe(0, 4, -1.0)
+
+    def test_invalid_ways(self):
+        bank = ThreadModelBank(1)
+        with pytest.raises(ValueError):
+            bank.observe(0, -1, 1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ThreadModelBank(1, alpha=0.0)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            ThreadModelBank(0)
+
+
+class TestModels:
+    def test_model_interpolates(self):
+        bank = ThreadModelBank(1)
+        bank.observe(0, 4, 8.0)
+        bank.observe(0, 8, 4.0)
+        assert bank.model(0)(6.0) == pytest.approx(6.0)
+
+    def test_linear_extrapolation_explores(self):
+        """The exploration mechanism: beyond observed ways, the model must
+        predict continued improvement so the optimiser tries new points."""
+        bank = ThreadModelBank(1, extrapolation="linear")
+        bank.observe(0, 4, 8.0)
+        bank.observe(0, 8, 4.0)
+        assert bank.model(0)(10.0) < 4.0
+
+    def test_floor_stops_negative_predictions(self):
+        bank = ThreadModelBank(1, extrapolation="linear", floor=0.5)
+        bank.observe(0, 4, 8.0)
+        bank.observe(0, 8, 1.0)
+        assert bank.model(0)(30.0) == pytest.approx(0.5)
+
+    def test_clamp_mode_holds_boundaries(self):
+        bank = ThreadModelBank(1, extrapolation="clamp")
+        bank.observe(0, 4, 8.0)
+        bank.observe(0, 8, 4.0)
+        assert bank.model(0)(30.0) == pytest.approx(4.0)
+
+    def test_model_invalidated_on_new_observation(self):
+        bank = ThreadModelBank(1, alpha=1.0)
+        bank.observe(0, 4, 8.0)
+        m1 = bank.model(0)(4.0)
+        bank.observe(0, 4, 2.0)
+        assert bank.model(0)(4.0) != m1
+
+    def test_model_without_observations_raises(self):
+        bank = ThreadModelBank(2)
+        bank.observe(0, 4, 1.0)
+        with pytest.raises(ValueError):
+            bank.model(1)
+
+    def test_predict_vector(self):
+        bank = ThreadModelBank(2)
+        bank.observe(0, 4, 8.0)
+        bank.observe(1, 4, 2.0)
+        pred = bank.predict([4, 4])
+        assert isinstance(pred, np.ndarray)
+        assert pred[0] == pytest.approx(8.0)
+        assert pred[1] == pytest.approx(2.0)
+
+    def test_predict_wrong_length(self):
+        bank = ThreadModelBank(2)
+        bank.observe(0, 4, 1.0)
+        bank.observe(1, 4, 1.0)
+        with pytest.raises(ValueError):
+            bank.predict([4])
+
+    def test_spline_with_three_plus_points(self):
+        bank = ThreadModelBank(1)
+        for w, v in [(2, 10.0), (4, 6.0), (8, 4.0), (16, 3.5)]:
+            bank.observe(0, w, v)
+        m = bank.model(0)
+        for w, v in [(2, 10.0), (4, 6.0), (8, 4.0), (16, 3.5)]:
+            assert m(float(w)) == pytest.approx(v)
+
+    def test_reset(self):
+        bank = ThreadModelBank(1)
+        bank.observe(0, 4, 1.0)
+        bank.reset()
+        assert bank.n_distinct(0) == 0

@@ -1,0 +1,119 @@
+"""Tests for the runtime system wrapper and result records."""
+
+import pytest
+
+from repro.cache.stats import StatsSnapshot
+from repro.core.records import RunResult
+from repro.core.runtime import RuntimeSystem
+from repro.partition.cpi import CPIProportionalPolicy
+from repro.partition.static import StaticEqualPolicy
+
+from .test_partition_policies import make_obs
+
+
+def snap(n=2):
+    return StatsSnapshot(
+        accesses=(100,) * n,
+        hits=(80,) * n,
+        misses=(20,) * n,
+        evictions=(10,) * n,
+        inter_thread_hits=(5,) * n,
+        inter_thread_evictions=(2,) * n,
+        intra_thread_hits=(75,) * n,
+    )
+
+
+def result(cycles=1000.0, n=2, **kw):
+    defaults = dict(
+        app="x",
+        policy="shared",
+        n_threads=n,
+        total_cycles=cycles,
+        thread_instructions=(500,) * n,
+        thread_busy_cycles=(900.0,) * n,
+        thread_stall_cycles=(100.0,) * n,
+        l2_totals=snap(n),
+        thread_l1_accesses=(400,) * n,
+        thread_l1_hits=(300,) * n,
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+class TestRuntimeSystem:
+    def test_delegates_to_policy(self):
+        rt = RuntimeSystem(CPIProportionalPolicy(2, 8))
+        out = rt.on_interval(make_obs([3.0, 1.0], [4, 4]))
+        assert sum(out) == 8
+        assert rt.invocations == 1
+        assert len(rt.decisions) == 1
+
+    def test_static_policy_records_no_decisions(self):
+        rt = RuntimeSystem(StaticEqualPolicy(2, 8))
+        assert rt.on_interval(make_obs([3.0, 1.0], [4, 4])) is None
+        assert rt.invocations == 1
+        assert rt.decisions == []
+
+    def test_reconfigurations_count_changes_only(self):
+        rt = RuntimeSystem(CPIProportionalPolicy(2, 8))
+        rt.on_interval(make_obs([3.0, 1.0], [4, 4], index=0))   # -> (6,2): change
+        rt.on_interval(make_obs([3.0, 1.0], [6, 2], index=1))   # -> (6,2): no change
+        assert rt.invocations == 2
+        assert rt.reconfigurations == 1
+
+    def test_invalid_policy_output_rejected(self):
+        class BadPolicy(StaticEqualPolicy):
+            def on_interval(self, obs):
+                return [1, 2]  # sums to 3, not 8
+
+        rt = RuntimeSystem(BadPolicy(2, 8))
+        with pytest.raises(ValueError):
+            rt.on_interval(make_obs([1.0, 1.0], [4, 4]))
+
+    def test_name_and_enforcement_passthrough(self):
+        rt = RuntimeSystem(CPIProportionalPolicy(2, 8))
+        assert rt.name == "cpi-proportional"
+        assert rt.enforce_partition is True
+
+    def test_reset(self):
+        rt = RuntimeSystem(CPIProportionalPolicy(2, 8))
+        rt.on_interval(make_obs([3.0, 1.0], [4, 4]))
+        rt.reset()
+        assert rt.invocations == 0
+        assert rt.decisions == []
+
+
+class TestRunResult:
+    def test_performance_inverse_of_cycles(self):
+        assert result(cycles=2000.0).performance == pytest.approx(1 / 2000.0)
+
+    def test_speedup_over(self):
+        fast = result(cycles=1000.0)
+        slow = result(cycles=1200.0)
+        assert fast.speedup_over(slow) == pytest.approx(0.2)
+        assert slow.speedup_over(fast) == pytest.approx(-1 / 6)
+
+    def test_thread_cpi(self):
+        r = result()
+        assert r.thread_cpi(0) == pytest.approx(900.0 / 500)
+
+    def test_l1_metrics(self):
+        r = result()
+        assert r.total_memory_accesses == 800
+        assert r.l1_hit_rate() == pytest.approx(0.75)
+        assert r.l1_hit_rate(0) == pytest.approx(0.75)
+
+    def test_inter_thread_share_of_all_accesses(self):
+        r = result()
+        # (5+5) hits + (2+2) evictions over 800 memory accesses
+        assert r.inter_thread_share_of_all_accesses() == pytest.approx(14 / 800)
+
+    def test_to_dict_roundtrips_core_fields(self):
+        d = result().to_dict()
+        assert d["app"] == "x"
+        assert d["total_cycles"] == 1000.0
+        assert d["thread_instructions"] == [500, 500]
+        assert d["intervals"] == []
+
+    def test_total_instructions(self):
+        assert result().total_instructions == 1000

@@ -1,0 +1,115 @@
+"""Tests for timing model and L2 stream compilation."""
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cpu.streams import compile_program, compile_thread_work
+from repro.cpu.timing import TimingModel
+from repro.sync.program import Section, SyntheticProgram, ThreadWork
+from repro.trace.layout import STREAM_BASE_ADDRESS
+
+
+@pytest.fixture
+def l1():
+    return CacheGeometry(sets=2, ways=2, line_bytes=64)
+
+
+class TestTimingModel:
+    def test_defaults_valid(self):
+        t = TimingModel()
+        assert t.l1_hit_cycles <= t.l2_hit_cycles <= t.mem_cycles
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel(l2_hit_cycles=5, l1_hit_cycles=10)
+
+    def test_stream_between_l2_and_mem(self):
+        with pytest.raises(ValueError):
+            TimingModel(stream_miss_cycles=5000.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel(mem_cycles=-1)
+
+    def test_zero_base_cpi_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel(base_cpi=0)
+
+    def test_hashable_frozen(self):
+        assert hash(TimingModel()) == hash(TimingModel())
+
+
+class TestCompileThreadWork:
+    def test_all_hits_empty_stream(self, l1):
+        # Same line over and over: only the first access reaches L2.
+        addrs = np.full(10, 64, dtype=np.int64)
+        gaps = np.full(10, 2, dtype=np.int32)
+        s = compile_thread_work(ThreadWork(addrs=addrs, gaps=gaps), l1, TimingModel())
+        assert s.n_l2_accesses == 1
+        assert s.l1_accesses == 10
+        assert s.l1_hits == 9
+        assert s.total_instructions == 10 * 3
+
+    def test_deltas_partition_instructions(self, l1):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 14, size=500, dtype=np.int64)
+        gaps = rng.integers(0, 5, size=500).astype(np.int32)
+        s = compile_thread_work(ThreadWork(addrs=addrs, gaps=gaps), l1, TimingModel())
+        assert int(s.d_instructions.sum()) + s.tail_instructions == s.total_instructions
+
+    def test_deltas_partition_cycles(self, l1):
+        timing = TimingModel()
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 1 << 14, size=300, dtype=np.int64)
+        gaps = rng.integers(0, 4, size=300).astype(np.int32)
+        s = compile_thread_work(ThreadWork(addrs=addrs, gaps=gaps), l1, timing)
+        expected = float(gaps.sum()) * timing.base_cpi + 300 * timing.l1_hit_cycles
+        assert float(s.d_cycles.sum()) + s.tail_cycles == pytest.approx(expected)
+
+    def test_no_l2_accesses_all_tail(self, l1):
+        addrs = np.full(5, 128, dtype=np.int64)
+        gaps = np.zeros(5, dtype=np.int32)
+        # Prime so even the first access hits: not possible in one call, so
+        # accept 1 miss and check the degenerate empty-stream branch with a
+        # trace that never leaves one line after compile: use hits-only case
+        # by making trace of length 1 (single compulsory miss).
+        s = compile_thread_work(ThreadWork(addrs=addrs[:1], gaps=gaps[:1]), l1, TimingModel())
+        assert s.n_l2_accesses == 1
+        assert s.tail_instructions == 0
+
+    def test_stream_addresses_get_stream_penalty(self, l1):
+        timing = TimingModel()
+        addrs = np.array([64, STREAM_BASE_ADDRESS + 64], dtype=np.int64)
+        gaps = np.zeros(2, dtype=np.int32)
+        s = compile_thread_work(ThreadWork(addrs=addrs, gaps=gaps), l1, timing)
+        assert s.miss_cycles[0] == timing.mem_cycles
+        assert s.miss_cycles[1] == timing.stream_miss_cycles
+
+    def test_l1_hit_rate_property(self, l1):
+        addrs = np.full(4, 64, dtype=np.int64)
+        gaps = np.zeros(4, dtype=np.int32)
+        s = compile_thread_work(ThreadWork(addrs=addrs, gaps=gaps), l1, TimingModel())
+        assert s.l1_hit_rate == pytest.approx(0.75)
+
+
+class TestCompileProgram:
+    def test_shapes_and_totals(self, l1):
+        rng = np.random.default_rng(3)
+
+        def w():
+            return ThreadWork(
+                addrs=rng.integers(0, 1 << 13, size=50, dtype=np.int64),
+                gaps=rng.integers(0, 3, size=50).astype(np.int32),
+            )
+
+        prog = SyntheticProgram(
+            name="t",
+            sections=(Section(works=(w(), w())), Section(works=(w(), w()))),
+        )
+        compiled = compile_program(prog, l1, TimingModel())
+        assert compiled.n_threads == 2
+        assert len(compiled.sections) == 2
+        assert compiled.total_instructions == prog.instructions
+        assert compiled.total_l2_accesses > 0
+        assert compiled.name == "t"

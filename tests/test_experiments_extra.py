@@ -1,0 +1,35 @@
+"""Additional coverage for experiment helpers."""
+
+import pytest
+
+from repro.experiments.comparison import speedup_table
+from repro.experiments.runner import clear_result_cache
+from repro.experiments.sensitivity import _partition_with_probe
+from repro.sim.config import SystemConfig
+
+
+class TestPartitionWithProbe:
+    def test_probe_gets_requested_ways(self):
+        targets = _partition_with_probe(1, 16, 4, 32)
+        assert targets[1] == 16
+        assert sum(targets) == 32
+
+    def test_remainder_spread_evenly(self):
+        targets = _partition_with_probe(0, 8, 4, 32)
+        assert targets[0] == 8
+        assert sorted(targets[1:]) == [8, 8, 8]
+
+    def test_too_greedy_probe_rejected(self):
+        with pytest.raises(ValueError):
+            _partition_with_probe(0, 31, 4, 32)
+
+
+class TestSpeedupTable:
+    def test_renders_requested_apps_and_baselines(self):
+        clear_result_cache()
+        cfg = SystemConfig.quick()
+        out = speedup_table(cfg, ["ft"], baselines=("shared",))
+        assert "ft" in out
+        assert "vs shared" in out
+        lines = out.splitlines()
+        assert len(lines) == 4  # title + header + rule + one row

@@ -1,0 +1,149 @@
+"""End-to-end integration tests.
+
+These assert the paper's qualitative claims on small, strongly-shaped
+scenarios rather than the full evaluation configuration (the benchmark
+harness regenerates the full figures; tests need to be fast and robust).
+"""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_application
+from repro.trace.behavior import PhaseSegment, ThreadBehavior
+from repro.trace.workloads import WorkloadProfile
+
+
+def strong_profile() -> WorkloadProfile:
+    """Two cache-hungry threads, a bursty polluter and a small donor —
+    the role mix that produces the paper's effects."""
+    return WorkloadProfile(
+        name="integration-strong",
+        suite="NAS",
+        description="integration test profile",
+        base_behaviors=(
+            ThreadBehavior(ws_lines=130, skew=2.0, share_frac=0.05,
+                           stream_frac=0.02, mem_ratio=0.42),
+            ThreadBehavior(ws_lines=40, skew=2.2, share_frac=0.05,
+                           stream_frac=0.05, mem_ratio=0.30),
+            ThreadBehavior(ws_lines=24, skew=2.5, share_frac=0.05,
+                           stream_frac=0.25, mem_ratio=0.32,
+                           stream_burst=1.0, stream_stride_words=8),
+            ThreadBehavior(ws_lines=40, skew=2.2, share_frac=0.05,
+                           stream_frac=0.05, mem_ratio=0.30),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SystemConfig(
+        n_threads=4,
+        l2_geometry=CacheGeometry(sets=16, ways=16),  # 256 lines, share=64
+        interval_instructions=8_000,
+        n_intervals=16,
+        sections_per_interval=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def results(cfg):
+    profile = strong_profile()
+    return {
+        p: run_application(profile, p, cfg)
+        for p in ("shared", "static-equal", "model-based", "cpi-proportional", "throughput")
+    }
+
+
+class TestHeadlineShape:
+    def test_dynamic_beats_static_equal(self, results):
+        """Paper Fig. 19: the dynamic scheme beats the private cache."""
+        gain = results["model-based"].speedup_over(results["static-equal"])
+        assert gain > 0.03, f"expected solid gain over static-equal, got {gain:+.1%}"
+
+    def test_dynamic_competitive_with_shared(self, results):
+        """Paper Fig. 20: the dynamic scheme beats (or at worst matches)
+        the unpartitioned shared cache."""
+        gain = results["model-based"].speedup_over(results["shared"])
+        assert gain > -0.02, f"expected no loss vs shared, got {gain:+.1%}"
+
+    def test_dynamic_feeds_critical_thread(self, results):
+        """The final partition gives thread 0 (the big-footprint critical
+        thread) the largest share."""
+        final_targets = results["model-based"].intervals[-1].observation.targets
+        assert final_targets[0] == max(final_targets)
+        assert final_targets[0] > sum(final_targets) // 4
+
+    def test_critical_thread_cpi_reduced_vs_static(self, results):
+        crit_static = results["static-equal"].thread_cpi(0)
+        crit_dyn = results["model-based"].thread_cpi(0)
+        assert crit_dyn < crit_static
+
+    def test_partitioning_reduces_inter_thread_evictions(self, results):
+        shared_evictions = sum(results["shared"].l2_totals.inter_thread_evictions)
+        dyn_evictions = sum(results["model-based"].l2_totals.inter_thread_evictions)
+        assert dyn_evictions < shared_evictions
+
+    def test_all_policies_execute_identical_work(self, results):
+        ref = results["shared"]
+        for r in results.values():
+            assert r.thread_instructions == ref.thread_instructions
+            assert r.thread_l1_accesses == ref.thread_l1_accesses
+
+    def test_interval_records_complete(self, results, cfg):
+        for r in results.values():
+            assert len(r.intervals) >= cfg.n_intervals - 1
+            for rec in r.intervals:
+                assert sum(rec.observation.targets) == cfg.total_ways
+
+    def test_barrier_log_consistency(self, results, cfg):
+        for r in results.values():
+            expected_sections = cfg.n_intervals * cfg.sections_per_interval
+            assert len(r.barriers.events) == expected_sections
+            # Slack totals from the log match the run's stall accounting.
+            log_slack = r.barriers.total_slack_per_thread()
+            for t in range(cfg.n_threads):
+                assert log_slack[t] == pytest.approx(r.thread_stall_cycles[t])
+
+    def test_wall_clock_bounded_by_busy_plus_stall(self, results):
+        for r in results.values():
+            for t in range(r.n_threads):
+                assert (
+                    r.thread_busy_cycles[t] + r.thread_stall_cycles[t]
+                    <= r.total_cycles * (1 + 1e-9)
+                )
+
+
+class TestPhaseAdaptation:
+    def test_partition_tracks_phase_change(self, cfg):
+        """When the big thread's footprint migrates to another thread
+        between phases, the dynamic partition must follow."""
+        profile = WorkloadProfile(
+            name="integration-phases",
+            suite="NAS",
+            description="phase flip",
+            base_behaviors=(
+                ThreadBehavior(ws_lines=120, skew=2.0, mem_ratio=0.42,
+                               share_frac=0.05, stream_frac=0.02),
+                ThreadBehavior(ws_lines=30, skew=2.0, mem_ratio=0.42,
+                               share_frac=0.05, stream_frac=0.02),
+                ThreadBehavior(ws_lines=24, skew=2.5, mem_ratio=0.3,
+                               share_frac=0.05, stream_frac=0.05),
+                ThreadBehavior(ws_lines=24, skew=2.5, mem_ratio=0.3,
+                               share_frac=0.05, stream_frac=0.05),
+            ),
+            phases=(
+                PhaseSegment(intervals=8, ws_scales=(1.0, 1.0, 1.0, 1.0)),
+                PhaseSegment(intervals=8, ws_scales=(0.25, 4.0, 1.0, 1.0)),
+            ),
+        )
+        r = run_application(profile, "model-based", cfg)
+        first_phase = r.intervals[6].observation.targets
+        second_phase = r.intervals[-1].observation.targets
+        assert first_phase[0] > first_phase[1]
+        # After the flip, capacity flows from thread 0 to thread 1.  The
+        # shift is substantial but damped: the model bank's cells for way
+        # counts visited only during the old phase go stale and brake the
+        # transfer (a known property of the interval-EWMA design).
+        assert second_phase[1] >= first_phase[1] + 3
+        assert second_phase[0] <= first_phase[0] - 3

@@ -1,0 +1,71 @@
+"""Tests for isotonic (PAVA) monotonisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathx.isotonic import isotonic_nonincreasing
+
+
+class TestPAVA:
+    def test_already_monotone_unchanged(self):
+        v = [9.0, 7.0, 7.0, 3.0]
+        assert np.allclose(isotonic_nonincreasing(v), v)
+
+    def test_single_violation_pooled(self):
+        out = isotonic_nonincreasing([5.0, 1.0, 3.0])
+        assert np.allclose(out, [5.0, 2.0, 2.0])
+
+    def test_rising_sequence_becomes_flat_mean(self):
+        out = isotonic_nonincreasing([1.0, 2.0, 3.0])
+        assert np.allclose(out, [2.0, 2.0, 2.0])
+
+    def test_poisoned_bump_flattened(self):
+        # The migration pathology: one stale pessimistic knot mid-curve.
+        out = isotonic_nonincreasing([4.7, 7.4, 3.4, 3.7])
+        assert all(out[i] >= out[i + 1] for i in range(3))
+        # The bump is pooled, not propagated to the ends.
+        assert out[0] >= out[1]
+
+    def test_weights_bias_the_pool(self):
+        out = isotonic_nonincreasing([1.0, 3.0], weights=[3.0, 1.0])
+        assert np.allclose(out, [1.5, 1.5])
+
+    def test_empty(self):
+        assert isotonic_nonincreasing([]).size == 0
+
+    def test_single(self):
+        assert np.allclose(isotonic_nonincreasing([4.2]), [4.2])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            isotonic_nonincreasing([1.0, float("nan")])
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            isotonic_nonincreasing([1.0, 2.0], weights=[1.0, 0.0])
+        with pytest.raises(ValueError):
+            isotonic_nonincreasing([1.0, 2.0], weights=[1.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            isotonic_nonincreasing(np.zeros((2, 2)))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=40))
+    def test_property_output_monotone_and_mean_preserving(self, values):
+        out = isotonic_nonincreasing(values)
+        assert all(out[i] >= out[i + 1] - 1e-9 for i in range(len(out) - 1))
+        # Least-squares projection preserves the (unweighted) mean.
+        assert np.mean(out) == pytest.approx(np.mean(values))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=25))
+    def test_property_projection_no_worse_than_flat(self, values):
+        """PAVA is the least-squares projection: its residual can't exceed
+        the flat-mean fit's residual (the mean is feasible)."""
+        v = np.asarray(values)
+        out = isotonic_nonincreasing(v)
+        flat = np.full_like(v, v.mean())
+        assert np.sum((out - v) ** 2) <= np.sum((flat - v) ** 2) + 1e-9

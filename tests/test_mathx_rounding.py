@@ -1,0 +1,92 @@
+"""Tests for largest-remainder way apportionment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathx.rounding import largest_remainder_apportion
+
+
+class TestLargestRemainder:
+    def test_proportional_exact(self):
+        assert largest_remainder_apportion([1, 1, 1, 1], 32) == [8, 8, 8, 8]
+
+    def test_paper_formula_example(self):
+        # CPI-proportional: thread with twice the CPI gets about twice the ways.
+        out = largest_remainder_apportion([2.0, 1.0, 1.0], 32)
+        assert sum(out) == 32
+        assert out[0] > out[1] == out[2]
+
+    def test_sum_preserved(self):
+        out = largest_remainder_apportion([3.7, 1.1, 9.2, 0.4], 32)
+        assert sum(out) == 32
+
+    def test_minimum_enforced(self):
+        out = largest_remainder_apportion([100.0, 0.0, 0.0, 0.0], 32, minimum=1)
+        assert out[1:] == [1, 1, 1]
+        assert out[0] == 29
+
+    def test_minimum_zero_allows_starvation(self):
+        out = largest_remainder_apportion([1.0, 0.0], 4, minimum=0)
+        assert out == [4, 0]
+
+    def test_all_zero_shares_treated_uniform(self):
+        assert largest_remainder_apportion([0, 0, 0, 0], 8) == [2, 2, 2, 2]
+
+    def test_deterministic_tie_break_by_index(self):
+        out1 = largest_remainder_apportion([1, 1, 1], 4)
+        out2 = largest_remainder_apportion([1, 1, 1], 4)
+        assert out1 == out2 == [2, 1, 1]
+
+    def test_total_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder_apportion([1, 1, 1], 2, minimum=1)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder_apportion([1, -1], 8)
+
+    def test_nan_share_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder_apportion([1, float("nan")], 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder_apportion([], 8)
+
+    def test_negative_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder_apportion([1, 1], 8, minimum=-1)
+
+    def test_single_recipient_gets_everything(self):
+        assert largest_remainder_apportion([0.3], 32) == [32]
+
+    def test_monotone_in_share(self):
+        out = largest_remainder_apportion([5.0, 3.0, 1.0], 30, minimum=1)
+        assert out[0] >= out[1] >= out[2]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=64),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_property_sum_and_floor(self, shares, total, minimum):
+        if total < minimum * len(shares):
+            with pytest.raises(ValueError):
+                largest_remainder_apportion(shares, total, minimum=minimum)
+            return
+        out = largest_remainder_apportion(shares, total, minimum=minimum)
+        assert sum(out) == total
+        assert all(v >= minimum for v in out)
+        assert len(out) == len(shares)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=100, allow_nan=False), min_size=2, max_size=6))
+    def test_property_within_one_of_ideal(self, shares):
+        total = 32
+        out = largest_remainder_apportion(shares, total, minimum=0)
+        ssum = sum(shares)
+        for got, share in zip(out, shares, strict=True):
+            ideal = share / ssum * total
+            assert ideal - 1 < got < ideal + 1

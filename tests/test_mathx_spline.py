@@ -1,0 +1,169 @@
+"""Tests for the natural cubic spline and the CPI model fitter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.interpolate import CubicSpline as ScipyCubicSpline
+
+from repro.mathx.spline import CubicSpline1D, LinearModel1D, fit_cpi_model
+
+
+class TestCubicSpline:
+    def test_passes_through_knots(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        y = np.array([10.0, 6.0, 4.0, 3.0, 2.5])
+        s = CubicSpline1D(x, y)
+        assert np.allclose(s(x), y)
+
+    def test_scalar_in_scalar_out(self):
+        s = CubicSpline1D([1, 2, 3], [3.0, 2.0, 1.5])
+        out = s(2.5)
+        assert isinstance(out, float)
+
+    def test_vector_in_vector_out(self):
+        s = CubicSpline1D([1, 2, 3], [3.0, 2.0, 1.5])
+        out = s(np.array([1.5, 2.5]))
+        assert out.shape == (2,)
+
+    def test_matches_scipy_natural_spline(self):
+        x = np.array([1.0, 3.0, 5.0, 9.0, 12.0, 20.0])
+        y = np.array([9.0, 5.5, 4.2, 3.1, 2.9, 2.8])
+        ours = CubicSpline1D(x, y)
+        ref = ScipyCubicSpline(x, y, bc_type="natural")
+        q = np.linspace(1.0, 20.0, 57)
+        assert np.allclose(ours(q), ref(q), atol=1e-9)
+
+    def test_linear_data_reproduced_exactly(self):
+        x = np.array([1.0, 2.0, 5.0, 7.0])
+        y = 3.0 - 0.25 * x
+        s = CubicSpline1D(x, y)
+        q = np.linspace(1, 7, 31)
+        assert np.allclose(s(q), 3.0 - 0.25 * q, atol=1e-12)
+
+    def test_clamp_extrapolation_holds_boundary_values(self):
+        s = CubicSpline1D([2, 4, 8], [6.0, 4.0, 3.0], extrapolation="clamp")
+        assert s(0.5) == pytest.approx(6.0)
+        assert s(100.0) == pytest.approx(3.0)
+
+    def test_linear_extrapolation_continues_tangent(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([4.0, 3.0, 2.0])  # straight line, slope -1
+        s = CubicSpline1D(x, y, extrapolation="linear")
+        assert s(0.0) == pytest.approx(5.0, abs=1e-9)
+        assert s(5.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_linear_extrapolation_is_continuous_at_boundary(self):
+        s = CubicSpline1D([1, 3, 6, 9], [8.0, 5.0, 4.5, 4.4], extrapolation="linear")
+        assert s(9.0) == pytest.approx(s(9.0 - 1e-9), abs=1e-6)
+        assert s(1.0) == pytest.approx(s(1.0 + 1e-9), abs=1e-6)
+
+    def test_duplicate_x_values_averaged(self):
+        s = CubicSpline1D([1, 1, 2, 3], [4.0, 6.0, 3.0, 2.0])
+        assert s(1.0) == pytest.approx(5.0)
+
+    def test_unsorted_input_accepted(self):
+        s1 = CubicSpline1D([3, 1, 2], [2.0, 4.0, 3.0])
+        s2 = CubicSpline1D([1, 2, 3], [4.0, 3.0, 2.0])
+        q = np.linspace(1, 3, 11)
+        assert np.allclose(s1(q), s2(q))
+
+    def test_fewer_than_three_knots_rejected(self):
+        with pytest.raises(ValueError):
+            CubicSpline1D([1, 2], [1.0, 2.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            CubicSpline1D([1, 2, 3], [1.0, float("nan"), 2.0])
+
+    def test_unknown_extrapolation_rejected(self):
+        with pytest.raises(ValueError):
+            CubicSpline1D([1, 2, 3], [1.0, 2.0, 3.0], extrapolation="bogus")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            CubicSpline1D([1, 2, 3], [1.0, 2.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=-50, max_value=50).map(float),
+            min_size=4,
+            max_size=10,
+            unique=True,
+        ),
+        st.data(),
+    )
+    def test_property_interpolates_all_knots(self, xs, data):
+        ys = data.draw(
+            st.lists(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                min_size=len(xs),
+                max_size=len(xs),
+            )
+        )
+        s = CubicSpline1D(xs, ys)
+        order = np.argsort(xs)
+        assert np.allclose(s(np.asarray(xs)[order]), np.asarray(ys)[order], atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=-10, max_value=40, allow_nan=False))
+    def test_property_clamped_output_within_data_range(self, q):
+        s = CubicSpline1D([1, 4, 9, 16], [8.0, 4.0, 2.0, 1.0], extrapolation="clamp")
+        # Inside the knot range a cubic can overshoot, but the clamped
+        # *extrapolation* must stay at boundary values.
+        if q <= 1:
+            assert s(q) == pytest.approx(8.0)
+        elif q >= 16:
+            assert s(q) == pytest.approx(1.0)
+
+
+class TestLinearModel:
+    def test_single_point_is_constant(self):
+        m = LinearModel1D(x=np.array([4.0]), y=np.array([2.5]))
+        assert m(0.0) == pytest.approx(2.5)
+        assert m(100.0) == pytest.approx(2.5)
+
+    def test_two_points_secant(self):
+        m = LinearModel1D(x=np.array([2.0, 4.0]), y=np.array([6.0, 2.0]), extrapolation="linear")
+        assert m(3.0) == pytest.approx(4.0)
+        assert m(5.0) == pytest.approx(0.0)
+
+    def test_two_points_clamped(self):
+        m = LinearModel1D(x=np.array([2.0, 4.0]), y=np.array([6.0, 2.0]), extrapolation="clamp")
+        assert m(0.0) == pytest.approx(6.0)
+        assert m(9.0) == pytest.approx(2.0)
+
+    def test_knots_property(self):
+        m = LinearModel1D(x=np.array([2.0, 4.0]), y=np.array([6.0, 2.0]))
+        assert list(m.knots) == [2.0, 4.0]
+
+
+class TestFitCpiModel:
+    def test_dispatch_one_point(self):
+        m = fit_cpi_model([8], [3.0])
+        assert m(1) == pytest.approx(3.0)
+        assert m(32) == pytest.approx(3.0)
+
+    def test_dispatch_two_points(self):
+        m = fit_cpi_model([4, 8], [6.0, 4.0])
+        assert m(6) == pytest.approx(5.0)
+
+    def test_dispatch_three_points_is_spline(self):
+        m = fit_cpi_model([2, 4, 8], [8.0, 5.0, 4.0])
+        assert isinstance(m, type(fit_cpi_model([1, 2, 3], [1.0, 2.0, 3.0])))
+        assert m(4) == pytest.approx(5.0)
+
+    def test_duplicates_collapse_to_fewer_knots(self):
+        # Three observations but only two distinct way counts -> linear.
+        m = fit_cpi_model([4, 4, 8], [6.0, 8.0, 3.0])
+        assert isinstance(m, LinearModel1D)
+        assert m(4) == pytest.approx(7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cpi_model([], [])
+
+    def test_knots_exposed(self):
+        m = fit_cpi_model([2, 4, 8], [8.0, 5.0, 4.0])
+        assert list(m.knots) == [2.0, 4.0, 8.0]

@@ -1,0 +1,80 @@
+"""Tests for correlation and smoothing helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathx.stats import pearson_correlation, running_mean
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3, 4], [2, 4, 6, 8]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3, 4], [8, 6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        a = rng.random(50)
+        b = 0.6 * a + 0.4 * rng.random(50)
+        assert pearson_correlation(a, b) == pytest.approx(np.corrcoef(a, b)[0, 1])
+
+    def test_zero_variance_returns_zero(self):
+        assert pearson_correlation([3, 3, 3], [1, 2, 3]) == 0.0
+        assert pearson_correlation([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [2])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, float("nan")], [1, 2])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=2, max_size=30)
+    )
+    def test_property_bounded(self, xs):
+        ys = [v * 2 + 1 for v in xs]
+        r = pearson_correlation(xs, ys)
+        assert -1.0 <= r <= 1.0
+
+    def test_symmetric(self):
+        a = [1.0, 5.0, 2.0, 8.0]
+        b = [2.0, 1.0, 9.0, 3.0]
+        assert pearson_correlation(a, b) == pytest.approx(pearson_correlation(b, a))
+
+
+class TestRunningMean:
+    def test_window_one_is_identity(self):
+        vals = [1.0, 5.0, 2.0]
+        assert np.allclose(running_mean(vals, 1), vals)
+
+    def test_prefix_averages(self):
+        out = running_mean([2.0, 4.0, 6.0, 8.0], 2)
+        assert np.allclose(out, [2.0, 3.0, 5.0, 7.0])
+
+    def test_window_larger_than_input(self):
+        out = running_mean([2.0, 4.0], 10)
+        assert np.allclose(out, [2.0, 3.0])
+
+    def test_same_length_output(self):
+        assert running_mean(np.arange(17.0), 5).shape == (17,)
+
+    def test_empty_input(self):
+        assert running_mean([], 3).size == 0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            running_mean([1.0], 0)
+
+    def test_constant_series_unchanged(self):
+        out = running_mean([4.0] * 10, 3)
+        assert np.allclose(out, 4.0)

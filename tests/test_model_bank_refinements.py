@@ -1,0 +1,152 @@
+"""Tests for the model bank's monotonisation, aging, and the policy's
+trust region and probe mechanisms."""
+
+import pytest
+
+from repro.core.models import ThreadModelBank
+from repro.partition.model_based import ModelBasedPolicy, optimize_max_cpi
+
+from .test_partition_model_based import bank_from_curves
+from .test_partition_policies import make_obs
+
+
+class TestMonotonisation:
+    def test_poisoned_knot_does_not_block_feeding(self):
+        """A stale pessimistic sample mid-curve must not make the model
+        predict that more ways hurt."""
+        bank = ThreadModelBank(1, alpha=1.0, monotone=True)
+        bank.observe(0, 1, 4.7)
+        bank.observe(0, 4, 7.4)  # poisoned transient sample
+        bank.observe(0, 6, 3.4)
+        bank.observe(0, 8, 3.0)
+        m = bank.model(0)
+        assert m(2.0) <= m(1.0) + 1e-9
+        assert m(4.0) <= m(1.0) + 1e-9
+
+    def test_monotone_disabled_keeps_raw_values(self):
+        bank = ThreadModelBank(1, alpha=1.0, monotone=False, max_age=None)
+        bank.observe(0, 1, 4.0)
+        bank.observe(0, 4, 7.0)
+        bank.observe(0, 8, 3.0)
+        _, vals = bank.points(0)
+        assert list(vals) == [4.0, 7.0, 3.0]
+
+    def test_points_monotone_when_enabled(self):
+        bank = ThreadModelBank(1, alpha=1.0, monotone=True, max_age=None)
+        for w, v in [(1, 2.0), (4, 9.0), (8, 1.0)]:
+            bank.observe(0, w, v)
+        _, vals = bank.points(0)
+        assert all(vals[i] >= vals[i + 1] for i in range(len(vals) - 1))
+
+
+class TestAging:
+    def test_stale_cells_dropped(self):
+        bank = ThreadModelBank(1, alpha=1.0, max_age=3, monotone=False)
+        bank.observe(0, 2, 9.0)  # tick 1, goes stale
+        for _ in range(3):  # ticks 2..4 at ways=8
+            bank.observe(0, 8, 3.0)
+        bank.observe(0, 6, 4.0)  # tick 5: second fresh knot
+        ways, _ = bank.points(0)
+        assert 2.0 not in ways  # stale, and two fresh knots remain
+        assert 8.0 in ways and 6.0 in ways
+
+    def test_fallback_keeps_two_most_recent(self):
+        bank = ThreadModelBank(1, alpha=1.0, max_age=2, monotone=False)
+        bank.observe(0, 2, 9.0)   # tick 1
+        bank.observe(0, 4, 6.0)   # tick 2
+        for _ in range(4):        # ticks 3..6, all at ways=8
+            bank.observe(0, 8, 3.0)
+        ways, _ = bank.points(0)
+        # Only ways=8 is fresh; the fallback keeps the 2 most recent knots.
+        assert len(ways) == 2
+        assert 8.0 in ways and 4.0 in ways
+
+    def test_aging_disabled(self):
+        bank = ThreadModelBank(1, alpha=1.0, max_age=None, monotone=False)
+        bank.observe(0, 2, 9.0)
+        for _ in range(50):
+            bank.observe(0, 8, 3.0)
+        ways, _ = bank.points(0)
+        assert 2.0 in ways
+
+    def test_invalid_max_age(self):
+        with pytest.raises(ValueError):
+            ThreadModelBank(1, max_age=0)
+
+
+class TestTrustRegion:
+    CURVES = [
+        {6: 50.0, 8: 46.0},  # shallow persistent gains: -2 CPI per way
+        {6: 1.0, 8: 1.0},
+        {6: 1.0, 8: 1.0},
+        {6: 1.0, 8: 1.0},
+    ]
+
+    def test_step_bounded(self):
+        out = optimize_max_cpi(bank_from_curves(self.CURVES), [8, 8, 8, 8], 32, max_step=3)
+        assert out[0] <= 11
+        assert all(out[t] >= 5 for t in range(1, 4))
+
+    def test_unbounded_mode(self):
+        out = optimize_max_cpi(bank_from_curves(self.CURVES), [8, 8, 8, 8], 32, max_step=None)
+        assert out[0] > 11  # free to take much more in one call
+
+
+class TestProbe:
+    def make_policy(self, **kw):
+        return ModelBasedPolicy(2, 8, bootstrap_intervals=1, **kw)
+
+    def test_probe_fires_on_frozen_unbalanced_state(self):
+        p = self.make_policy()
+        # Bootstrap interval.
+        p.on_interval(make_obs([6.0, 2.0], [4, 4], index=0))
+        # Flat models around the operating point -> optimizer makes no
+        # move -> the probe pushes one way to the slow thread.
+        out1 = p.on_interval(make_obs([6.0, 2.0], [6, 2], index=1))
+        assert out1 == [7, 1]
+
+    def test_successful_probe_kept(self):
+        p = self.make_policy()
+        p.on_interval(make_obs([6.0, 2.0], [4, 4], index=0))
+        out1 = p.on_interval(make_obs([6.0, 2.0], [6, 2], index=1))
+        assert out1 == [7, 1]
+        # The probe clearly paid off (max CPI 6.0 -> 4.0): keep the way.
+        out2 = p.on_interval(make_obs([4.0, 2.0], tuple(out1), index=2))
+        assert out2[0] >= 7
+
+    def test_failed_probe_reverted_with_cooldown(self):
+        p = self.make_policy()
+        p.on_interval(make_obs([6.0, 2.0], [4, 4], index=0))
+        t1 = p.on_interval(make_obs([6.0, 2.0], [6, 2], index=1))
+        assert t1 == [7, 1]
+        # No improvement in overall CPI -> probe reverted...
+        t2 = p.on_interval(make_obs([6.0, 2.0], tuple(t1), index=2))
+        assert t2 == [6, 2]
+        # ...and the cooldown blocks an immediate re-probe.
+        t3 = p.on_interval(make_obs([6.0, 2.0], tuple(t2), index=3))
+        assert t3 == [6, 2]
+
+    def test_probe_disabled(self):
+        p = self.make_policy(probe=False)
+        p.on_interval(make_obs([6.0, 2.0], [4, 4], index=0))
+        out1 = p.on_interval(make_obs([6.0, 2.0], [6, 2], index=1))
+        out2 = p.on_interval(make_obs([6.0, 2.0], tuple(out1), index=2))
+        assert out2 == out1  # frozen, by design
+
+    def test_balanced_app_not_probed(self):
+        p = self.make_policy()
+        p.on_interval(make_obs([3.0, 3.0], [4, 4], index=0))
+        out = p.on_interval(make_obs([3.0, 3.0], [4, 4], index=1))
+        assert out == [4, 4]
+
+    def test_invalid_probe_threshold(self):
+        with pytest.raises(ValueError):
+            ModelBasedPolicy(2, 8, probe_threshold=0.5)
+
+    def test_reset_clears_probe_state(self):
+        p = self.make_policy()
+        p.on_interval(make_obs([6.0, 2.0], [4, 4], index=0))
+        p.on_interval(make_obs([6.0, 2.0], [6, 2], index=1))
+        p.reset()
+        assert p._probe_state is None
+        assert p._cooldown_until == {}

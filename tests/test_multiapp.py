@@ -1,0 +1,168 @@
+"""Tests for the hierarchical multi-application stack (paper §VI-C)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.multiapp.allocator import MissProportionalOSAllocator, StaticOSAllocator
+from repro.multiapp.driver import run_coexecution
+from repro.multiapp.runtime import AppRuntime
+from repro.sim.config import SystemConfig
+
+from .test_partition_policies import make_obs
+
+
+class TestOSAllocators:
+    def test_initial_budgets_proportional_to_threads(self):
+        alloc = StaticOSAllocator(2, 32, min_ways_per_app=4)
+        assert alloc.initial_budgets([4, 4]) == [16, 16]
+        uneven = alloc.initial_budgets([6, 2])
+        assert uneven[0] > uneven[1]
+        assert sum(uneven) == 32
+
+    def test_static_never_changes(self):
+        alloc = StaticOSAllocator(2, 32)
+        assert alloc.on_epoch([100, 1], [16, 16]) is None
+
+    def test_miss_proportional_follows_demand(self):
+        alloc = MissProportionalOSAllocator(2, 32, min_ways_per_app=4)
+        budgets = alloc.on_epoch([300, 100], [16, 16])
+        assert budgets[0] > budgets[1]
+        assert sum(budgets) == 32
+
+    def test_miss_proportional_smooths(self):
+        alloc = MissProportionalOSAllocator(2, 32, min_ways_per_app=4, alpha=0.5)
+        b1 = alloc.on_epoch([300, 100], [16, 16])
+        # One quiet epoch must not fully reverse the allocation.
+        b2 = alloc.on_epoch([0, 100], [16, 16])
+        assert b2[0] > 8
+
+    def test_min_ways_per_app(self):
+        alloc = MissProportionalOSAllocator(2, 32, min_ways_per_app=8)
+        budgets = alloc.on_epoch([10_000, 0], [16, 16])
+        assert budgets[1] >= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticOSAllocator(0, 32)
+        with pytest.raises(ValueError):
+            StaticOSAllocator(4, 8, min_ways_per_app=4)
+        with pytest.raises(ValueError):
+            MissProportionalOSAllocator(2, 32, alpha=0.0)
+        alloc = MissProportionalOSAllocator(2, 32)
+        with pytest.raises(ValueError):
+            alloc.on_epoch([1], [16, 16])
+
+
+class TestAppRuntime:
+    def test_initial_equal_split_of_budget(self):
+        rt = AppRuntime(4, 16)
+        assert rt.targets == [4, 4, 4, 4]
+
+    def test_budget_rescale_preserves_shape(self):
+        rt = AppRuntime(4, 16)
+        rt.targets = [8, 4, 2, 2]
+        rt.set_budget(8)
+        assert sum(rt.targets) == 8
+        assert rt.targets[0] == max(rt.targets)
+
+    def test_budget_growth(self):
+        rt = AppRuntime(2, 4)
+        rt.targets = [3, 1]
+        rt.set_budget(12)
+        assert sum(rt.targets) == 12
+        assert rt.targets[0] > rt.targets[1]
+
+    def test_budget_too_small_rejected(self):
+        rt = AppRuntime(4, 16)
+        with pytest.raises(ValueError):
+            rt.set_budget(3)
+
+    def test_static_equal_mode(self):
+        rt = AppRuntime(2, 8, mode="static-equal")
+        out = rt.on_interval(make_obs([9.0, 1.0], [4, 4]))
+        assert out == [4, 4]
+
+    def test_model_mode_bootstraps_cpi_proportional(self):
+        rt = AppRuntime(2, 8, bootstrap_intervals=2)
+        out = rt.on_interval(make_obs([6.0, 2.0], [4, 4], index=0))
+        assert out[0] > out[1]
+        assert sum(out) == 8
+
+    def test_targets_track_budget_after_interval(self):
+        rt = AppRuntime(2, 8)
+        rt.on_interval(make_obs([6.0, 2.0], [4, 4], index=0))
+        rt.set_budget(12)
+        out = rt.on_interval(make_obs([6.0, 2.0], tuple(rt.targets), index=1))
+        assert sum(out) == 12
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            AppRuntime(2, 8, mode="chaotic")
+
+    def test_observation_size_checked(self):
+        rt = AppRuntime(4, 16)
+        with pytest.raises(ValueError):
+            rt.on_interval(make_obs([1.0, 2.0], [8, 8]))
+
+
+@pytest.fixture(scope="module")
+def co_config():
+    return SystemConfig(
+        n_threads=2,  # per app
+        l2_geometry=CacheGeometry(sets=16, ways=16),
+        interval_instructions=4_000,
+        n_intervals=8,
+        sections_per_interval=2,
+    )
+
+
+class TestCoexecution:
+    def test_all_schemes_run(self, co_config):
+        for scheme in ("shared", "os-only", "hierarchical", "hierarchical-static-os"):
+            res = run_coexecution(["ft", "equake"], co_config, scheme=scheme,
+                                  threads_per_app=2)
+            assert len(res.apps) == 2
+            assert all(a.completion_cycles > 0 for a in res.apps)
+            assert res.total_cycles == max(a.completion_cycles for a in res.apps)
+
+    def test_apps_complete_all_work(self, co_config):
+        res = run_coexecution(["ft", "equake"], co_config, threads_per_app=2)
+        from repro.sim.driver import prepare_program
+
+        for app_res, name in zip(res.apps, ["ft", "equake"], strict=True):
+            compiled = prepare_program(name, co_config.with_(n_threads=2))
+            assert sum(app_res.thread_instructions) == compiled.total_instructions
+
+    def test_per_app_intervals_recorded(self, co_config):
+        res = run_coexecution(["ft", "equake"], co_config, threads_per_app=2)
+        for app_res in res.apps:
+            assert len(app_res.intervals) >= co_config.n_intervals - 2
+            for obs in app_res.intervals:
+                assert len(obs.cpi) == 2
+
+    def test_budget_trace_under_dynamic_os(self, co_config):
+        res = run_coexecution(["cg", "ft"], co_config, scheme="hierarchical",
+                              threads_per_app=2, os_epoch_intervals=2)
+        assert res.budget_trace
+        for _, budgets in res.budget_trace:
+            assert sum(budgets) == co_config.total_ways
+
+    def test_deterministic(self, co_config):
+        r1 = run_coexecution(["ft", "equake"], co_config, threads_per_app=2)
+        r2 = run_coexecution(["ft", "equake"], co_config, threads_per_app=2)
+        assert [a.completion_cycles for a in r1.apps] == [
+            a.completion_cycles for a in r2.apps
+        ]
+
+    def test_unknown_scheme_rejected(self, co_config):
+        with pytest.raises(ValueError):
+            run_coexecution(["ft"], co_config, scheme="anarchy")
+
+    def test_empty_apps_rejected(self, co_config):
+        with pytest.raises(ValueError):
+            run_coexecution([], co_config)
+
+    def test_too_many_threads_rejected(self, co_config):
+        with pytest.raises(ValueError):
+            run_coexecution(["ft", "equake", "cg", "mg", "swim", "art", "applu",
+                             "mgrid", "wupwise"], co_config, threads_per_app=2)

@@ -1,0 +1,108 @@
+"""Focused tests for the multi-application engine internals."""
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.shared import PartitionedSharedCache
+from repro.cpu.streams import CompiledProgram, L2Stream
+from repro.cpu.timing import TimingModel
+from repro.multiapp.allocator import MissProportionalOSAllocator
+from repro.multiapp.engine import MultiAppEngine
+from repro.multiapp.runtime import AppRuntime
+
+
+def stream(addrs, d_cycles=10.0, timing=None):
+    timing = timing or TimingModel()
+    addrs = np.asarray(addrs, dtype=np.int64)
+    n = addrs.size
+    return L2Stream(
+        addresses=addrs,
+        d_instructions=np.full(n, 10, dtype=np.int64),
+        d_cycles=np.full(n, d_cycles, dtype=np.float64),
+        miss_cycles=np.full(n, timing.mem_cycles),
+        tail_instructions=0,
+        tail_cycles=0.0,
+        total_instructions=10 * n,
+        l1_accesses=n,
+        l1_hits=0,
+    )
+
+
+def program(name, sections):
+    return CompiledProgram(
+        name=name,
+        n_threads=len(sections[0]),
+        sections=tuple(tuple(s) for s in sections),
+        meta={},
+    )
+
+
+@pytest.fixture
+def geo():
+    return CacheGeometry(sets=4, ways=8, line_bytes=64)
+
+
+class TestMultiAppEngine:
+    def test_independent_completion(self, geo):
+        # App 0 has twice the work of app 1.
+        a0 = program("a0", [[stream(np.arange(10) * 64)], [stream(np.arange(10) * 64)]][:1] * 2)
+        a1 = program("a1", [[stream(np.arange(10) * 64 + 1 << 20)]])
+        l2 = PartitionedSharedCache(geo, 2, enforce_partition=False)
+        res = MultiAppEngine([a0, a1], l2, TimingModel(),
+                             interval_instructions=1000).run()
+        assert res.apps[0].completion_cycles > res.apps[1].completion_cycles
+        assert res.total_cycles == res.apps[0].completion_cycles
+
+    def test_barriers_are_app_local(self, geo):
+        # App 0: one fast + one slow thread (must barrier together).
+        # App 1: one fast thread (must NOT wait for app 0).
+        fast = stream([0], d_cycles=5.0)
+        slow = stream([64], d_cycles=5000.0)
+        other = stream([1 << 20], d_cycles=5.0)
+        a0 = program("a0", [[fast, slow]])
+        a1 = program("a1", [[other]])
+        l2 = PartitionedSharedCache(geo, 3, enforce_partition=False)
+        res = MultiAppEngine([a0, a1], l2, TimingModel(),
+                             interval_instructions=10_000).run()
+        assert res.apps[1].completion_cycles < res.apps[0].completion_cycles / 10
+
+    def test_thread_count_mismatch_rejected(self, geo):
+        a0 = program("a0", [[stream([0])]])
+        l2 = PartitionedSharedCache(geo, 3, enforce_partition=False)
+        with pytest.raises(ValueError):
+            MultiAppEngine([a0], l2, TimingModel())
+
+    def test_runtime_count_mismatch_rejected(self, geo):
+        a0 = program("a0", [[stream([0])]])
+        l2 = PartitionedSharedCache(geo, 1)
+        with pytest.raises(ValueError):
+            MultiAppEngine([a0], l2, TimingModel(), runtimes=[])
+
+    def test_budgets_redistributed_at_epochs(self, geo):
+        # App 0 misses heavily (long distinct stream), app 1 barely.
+        a0_secs = [[stream(np.arange(40) * 64 + s * 4096)] for s in range(4)]
+        a1_secs = [[stream(np.full(40, 1 << 20))] for _ in range(4)]
+        a0 = program("a0", a0_secs)
+        a1 = program("a1", a1_secs)
+        l2 = PartitionedSharedCache(geo, 2)
+        runtimes = [AppRuntime(1, 4, min_ways=1), AppRuntime(1, 4, min_ways=1)]
+        alloc = MissProportionalOSAllocator(2, 8, min_ways_per_app=1)
+        res = MultiAppEngine(
+            [a0, a1], l2, TimingModel(), runtimes, alloc,
+            interval_instructions=100, os_epoch_intervals=1,
+        ).run()
+        assert res.budget_trace
+        final_budgets = res.budget_trace[-1][1]
+        assert final_budgets[0] > final_budgets[1]
+
+    def test_per_app_interval_indices(self, geo):
+        a0 = program("a0", [[stream(np.arange(20) * 64)]])
+        a1 = program("a1", [[stream(np.arange(20) * 64 + (1 << 20))]])
+        l2 = PartitionedSharedCache(geo, 2, enforce_partition=False)
+        res = MultiAppEngine([a0, a1], l2, TimingModel(),
+                             interval_instructions=50).run()
+        for app_res in res.apps:
+            indices = [o.index for o in app_res.intervals]
+            assert indices == sorted(indices)
+            assert indices[0] == 0

@@ -1,0 +1,159 @@
+"""Tests for the model-based partitioner and its reallocation loop."""
+
+import pytest
+
+from repro.core.models import ThreadModelBank
+from repro.partition.model_based import ModelBasedPolicy, optimize_max_cpi
+
+from .test_partition_policies import make_obs
+
+
+def bank_from_curves(curves, *, alpha=1.0):
+    """Build a bank from explicit (ways -> cpi) dicts, one per thread."""
+    bank = ThreadModelBank(len(curves), alpha=alpha)
+    for t, curve in enumerate(curves):
+        for ways, cpi in curve.items():
+            bank.observe(t, ways, cpi)
+    return bank
+
+
+class TestOptimizeMaxCpi:
+    def test_feeds_sensitive_critical_thread(self):
+        # Thread 0: steep CPI curve (critical, sensitive); thread 1: flat, fast.
+        bank = bank_from_curves(
+            [
+                {2: 10.0, 4: 8.0, 8: 4.0},
+                {2: 2.0, 4: 2.0, 8: 2.0},
+            ]
+        )
+        out = optimize_max_cpi(bank, [4, 4], 8, min_ways=1)
+        assert out[0] > out[1]
+        assert sum(out) == 8
+
+    def test_flat_models_keep_partition(self):
+        bank = bank_from_curves([{4: 3.0, 8: 3.0}, {4: 3.0, 8: 3.0}])
+        assert optimize_max_cpi(bank, [4, 4], 8) == [4, 4]
+
+    def test_min_ways_respected(self):
+        bank = bank_from_curves(
+            [{1: 20.0, 8: 2.0}, {1: 6.0, 8: 1.0}, {1: 6.0, 8: 1.0}]
+        )
+        out = optimize_max_cpi(bank, [4, 2, 2], 8, min_ways=1)
+        assert min(out) >= 1
+        assert sum(out) == 8
+
+    def test_sum_mismatch_rejected(self):
+        bank = bank_from_curves([{4: 2.0}, {4: 2.0}])
+        with pytest.raises(ValueError):
+            optimize_max_cpi(bank, [4, 5], 8)
+
+    def test_wrong_length_rejected(self):
+        bank = bank_from_curves([{4: 2.0}, {4: 2.0}])
+        with pytest.raises(ValueError):
+            optimize_max_cpi(bank, [8], 8)
+
+    def test_negative_gain_threshold_rejected(self):
+        bank = bank_from_curves([{4: 2.0}, {4: 2.0}])
+        with pytest.raises(ValueError):
+            optimize_max_cpi(bank, [4, 4], 8, min_rel_gain=-0.1)
+
+    def test_improvement_rule_continues_past_identity_change(self):
+        """The runner-up deadlock scenario: thread 1 sits just below
+        thread 0.  The literal paper rule freezes; the improvement rule
+        keeps descending and ends more balanced."""
+        curves = [
+            {4: 6.0, 6: 4.0, 8: 3.0},   # critical, steep
+            {4: 5.9, 6: 4.5, 8: 3.6},   # runner-up just below, also steep
+            {4: 1.0, 6: 1.0, 8: 1.0},   # flat donor
+            {4: 1.0, 6: 1.0, 8: 1.0},   # flat donor
+        ]
+        literal = optimize_max_cpi(
+            bank_from_curves(curves), [4, 4, 4, 4], 16, paper_termination=True
+        )
+        improved = optimize_max_cpi(
+            bank_from_curves(curves), [4, 4, 4, 4], 16, paper_termination=False
+        )
+        assert literal == [4, 4, 4, 4]  # frozen by the identity flip
+        assert improved[0] > 4 and improved[1] > 4  # both big threads fed
+        assert sum(improved) == 16
+
+    def test_monotone_descent_of_predicted_max(self):
+        bank = bank_from_curves(
+            [
+                {2: 12.0, 8: 6.0, 14: 3.0},
+                {2: 8.0, 8: 5.0, 14: 4.0},
+                {2: 2.0, 8: 1.5, 14: 1.2},
+                {2: 2.0, 8: 1.5, 14: 1.2},
+            ]
+        )
+        start = [8, 8, 8, 8]
+        out = optimize_max_cpi(bank, start, 32)
+        before = max(float(bank.model(t)(start[t])) for t in range(4))
+        after = max(float(bank.model(t)(out[t])) for t in range(4))
+        assert after <= before
+
+    def test_insensitive_critical_thread_gains_nothing(self):
+        """Paper's noted limiting case: if the critical thread is cache
+        insensitive, dynamic partitioning cannot help."""
+        bank = bank_from_curves(
+            [
+                {4: 9.0, 8: 9.0, 12: 9.0},  # critical but flat
+                {4: 3.0, 8: 2.0, 12: 1.5},
+            ]
+        )
+        assert optimize_max_cpi(bank, [8, 8], 16) == [8, 8]
+
+
+class TestModelBasedPolicy:
+    def test_bootstrap_uses_cpi_proportional(self):
+        p = ModelBasedPolicy(4, 32, bootstrap_intervals=2)
+        out = p.on_interval(make_obs([4.0, 1.0, 1.0, 1.0], [8] * 4, index=0))
+        assert sum(out) == 32
+        assert out[0] > out[1]
+
+    def test_switches_to_model_after_bootstrap(self):
+        p = ModelBasedPolicy(2, 8, bootstrap_intervals=1)
+        p.on_interval(make_obs([6.0, 2.0], [4, 4], index=0))
+        out = p.on_interval(make_obs([5.0, 2.2], [5, 3], index=1))
+        assert sum(out) == 8
+
+    def test_observations_accumulate(self):
+        p = ModelBasedPolicy(2, 8)
+        p.on_interval(make_obs([6.0, 2.0], [4, 4], index=0))
+        p.on_interval(make_obs([4.0, 2.5], [6, 2], index=1))
+        assert p.bank.n_distinct(0) == 2
+        assert p.bank.n_distinct(1) == 2
+
+    def test_reset_clears_state(self):
+        p = ModelBasedPolicy(2, 8)
+        p.on_interval(make_obs([6.0, 2.0], [4, 4]))
+        p.reset()
+        assert p.bank.n_distinct(0) == 0
+        assert p._intervals_seen == 0
+
+    def test_zero_instruction_thread_skipped(self):
+        p = ModelBasedPolicy(2, 8)
+        obs = make_obs([6.0, 0.0], [4, 4], instr=[1000, 0])
+        out = p.on_interval(obs)
+        assert sum(out) == 8
+        assert p.bank.n_distinct(1) == 0
+
+    def test_invalid_bootstrap_rejected(self):
+        with pytest.raises(ValueError):
+            ModelBasedPolicy(2, 8, bootstrap_intervals=0)
+
+    def test_name(self):
+        assert ModelBasedPolicy(2, 8).name == "model-based"
+
+    def test_targets_always_valid_over_many_intervals(self):
+        p = ModelBasedPolicy(4, 32)
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        targets = [8, 8, 8, 8]
+        for i in range(30):
+            cpi = [float(2 + 8 * rng.random()) for _ in range(4)]
+            out = p.on_interval(make_obs(cpi, targets, index=i))
+            assert sum(out) == 32
+            assert min(out) >= 1
+            targets = out

@@ -1,0 +1,125 @@
+"""Tests for the partitioning policies (base, static, CPI-proportional)."""
+
+import pytest
+
+from repro.cache.stats import StatsSnapshot
+from repro.core.records import IntervalObservation
+from repro.partition.base import PartitioningPolicy, equal_targets
+from repro.partition.cpi import CPIProportionalPolicy
+from repro.partition.static import SharedCachePolicy, StaticEqualPolicy, StaticPolicy
+
+
+def make_obs(cpi, targets, *, index=0, instr=None, misses=None):
+    n = len(cpi)
+    instr = instr or [1000] * n
+    misses = misses or [10] * n
+    snap = StatsSnapshot(
+        accesses=tuple(m * 4 for m in misses),
+        hits=tuple(m * 3 for m in misses),
+        misses=tuple(misses),
+        evictions=tuple(misses),
+        inter_thread_hits=(0,) * n,
+        inter_thread_evictions=(0,) * n,
+        intra_thread_hits=tuple(m * 3 for m in misses),
+    )
+    return IntervalObservation(
+        index=index,
+        cpi=tuple(cpi),
+        instructions=tuple(instr),
+        busy_cycles=tuple(c * i for c, i in zip(cpi, instr, strict=True)),
+        targets=tuple(targets),
+        l2=snap,
+    )
+
+
+class TestEqualTargets:
+    def test_even_split(self):
+        assert equal_targets(4, 32) == [8, 8, 8, 8]
+
+    def test_remainder_to_low_ids(self):
+        assert equal_targets(3, 32) == [11, 11, 10]
+
+    def test_too_few_ways_rejected(self):
+        with pytest.raises(ValueError):
+            equal_targets(5, 4)
+
+
+class TestObservationHelpers:
+    def test_critical_thread(self):
+        obs = make_obs([2.0, 9.0, 4.0], [8, 8, 16])
+        assert obs.critical_thread == 1
+        assert obs.overall_cpi == 9.0
+        assert obs.n_threads == 3
+
+
+class TestStaticPolicies:
+    def test_shared_policy_disables_enforcement(self):
+        p = SharedCachePolicy(4, 32)
+        assert p.enforce_partition is False
+        assert p.on_interval(make_obs([1, 2, 3, 4], [8, 8, 8, 8])) is None
+
+    def test_static_equal(self):
+        p = StaticEqualPolicy(4, 32)
+        assert p.initial_targets() == [8, 8, 8, 8]
+        assert p.on_interval(make_obs([1, 2, 3, 4], [8, 8, 8, 8])) is None
+
+    def test_static_arbitrary(self):
+        p = StaticPolicy(4, 32, [20, 4, 4, 4])
+        assert p.initial_targets() == [20, 4, 4, 4]
+        assert "static" in p.name
+
+    def test_static_validates_sum(self):
+        with pytest.raises(ValueError):
+            StaticPolicy(4, 32, [20, 4, 4, 5])
+
+    def test_static_validates_min_ways(self):
+        with pytest.raises(ValueError):
+            StaticPolicy(4, 32, [29, 1, 1, 1], min_ways=2)
+
+    def test_min_ways_infeasible_rejected(self):
+        with pytest.raises(ValueError):
+            StaticEqualPolicy(4, 4, min_ways=2)
+
+
+class TestCPIProportional:
+    def test_proportional_allocation(self):
+        p = CPIProportionalPolicy(4, 32)
+        out = p.on_interval(make_obs([4.0, 2.0, 1.0, 1.0], [8, 8, 8, 8]))
+        assert sum(out) == 32
+        assert out[0] > out[1] > out[2] >= out[3]
+        # Equal CPIs may differ by at most one way (rounding tie-break).
+        assert out[2] - out[3] <= 1
+
+    def test_paper_formula_shape(self):
+        # partition_t = CPI_t / sum(CPI) * ways: equal CPIs -> equal ways.
+        p = CPIProportionalPolicy(4, 32)
+        assert p.on_interval(make_obs([3.0] * 4, [8] * 4)) == [8, 8, 8, 8]
+
+    def test_min_ways_respected(self):
+        p = CPIProportionalPolicy(4, 32, min_ways=2)
+        out = p.on_interval(make_obs([100.0, 0.01, 0.01, 0.01], [8] * 4))
+        assert min(out) >= 2
+        assert sum(out) == 32
+
+    def test_reset_is_noop(self):
+        p = CPIProportionalPolicy(4, 32)
+        p.reset()  # stateless; must not raise
+
+    def test_name(self):
+        assert CPIProportionalPolicy(4, 32).name == "cpi-proportional"
+
+
+class TestBaseValidation:
+    def test_validate_rejects_bad_sum(self):
+        p = CPIProportionalPolicy(2, 8)
+        with pytest.raises(ValueError):
+            p._validate([4, 5])
+
+    def test_validate_rejects_wrong_length(self):
+        p = CPIProportionalPolicy(2, 8)
+        with pytest.raises(ValueError):
+            p._validate([8])
+
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            PartitioningPolicy(2, 8)  # type: ignore[abstract]

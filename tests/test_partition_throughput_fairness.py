@@ -1,0 +1,133 @@
+"""Tests for the throughput-oriented and fairness-oriented baselines."""
+
+import pytest
+
+from repro.core.models import ThreadModelBank
+from repro.partition.fairness import FairnessOrientedPolicy
+from repro.partition.throughput import ThroughputOrientedPolicy, greedy_min_total_misses
+
+from .test_partition_policies import make_obs
+
+
+def miss_bank(curves, alpha=1.0):
+    bank = ThreadModelBank(len(curves), alpha=alpha)
+    for t, curve in enumerate(curves):
+        for ways, mpki in curve.items():
+            bank.observe(t, ways, mpki)
+    return bank
+
+
+class TestGreedyMinTotalMisses:
+    def test_moves_capacity_to_steepest_curve(self):
+        bank = miss_bank(
+            [
+                {2: 50.0, 4: 20.0, 8: 5.0},   # steep
+                {2: 10.0, 4: 9.0, 8: 8.5},    # shallow
+            ]
+        )
+        out = greedy_min_total_misses(bank, [4, 4], 8, min_ways=1)
+        assert out[0] > out[1]
+        assert sum(out) == 8
+
+    def test_flat_curves_stay_put(self):
+        bank = miss_bank([{4: 5.0, 8: 5.0}, {4: 5.0, 8: 5.0}])
+        assert greedy_min_total_misses(bank, [4, 4], 8) == [4, 4]
+
+    def test_min_ways_respected(self):
+        bank = miss_bank([{1: 90.0, 8: 1.0}, {1: 5.0, 8: 4.0}])
+        out = greedy_min_total_misses(bank, [4, 4], 8, min_ways=2)
+        assert min(out) >= 2
+
+    def test_sum_mismatch_rejected(self):
+        bank = miss_bank([{4: 5.0}, {4: 5.0}])
+        with pytest.raises(ValueError):
+            greedy_min_total_misses(bank, [4, 3], 8)
+
+    def test_total_predicted_misses_never_increase(self):
+        bank = miss_bank(
+            [
+                {2: 40.0, 6: 15.0, 10: 8.0},
+                {2: 25.0, 6: 18.0, 10: 14.0},
+                {2: 5.0, 6: 4.0, 10: 3.9},
+            ]
+        )
+        start = [4, 4, 4]
+        out = greedy_min_total_misses(bank, start, 12)
+        before = sum(float(bank.model(t)(start[t])) for t in range(3))
+        after = sum(float(bank.model(t)(out[t])) for t in range(3))
+        assert after <= before + 1e-9
+
+    def test_ignores_thread_criticality(self):
+        """The defining flaw in the intra-application setting: capacity
+        goes to the steepest miss curve even when that thread is fast."""
+        bank = miss_bank(
+            [
+                {4: 10.0, 8: 9.0},    # critical thread, shallow misses
+                {4: 50.0, 8: 10.0},   # fast decoy, steep misses
+            ]
+        )
+        out = greedy_min_total_misses(bank, [4, 4], 8)
+        assert out[1] > out[0]
+
+
+class TestThroughputPolicy:
+    def test_bootstrap_miss_proportional(self):
+        p = ThroughputOrientedPolicy(2, 8)
+        out = p.on_interval(make_obs([3.0, 3.0], [4, 4], misses=[90, 10]))
+        assert out[0] > out[1]
+        assert sum(out) == 8
+
+    def test_models_track_mpki(self):
+        p = ThroughputOrientedPolicy(2, 8)
+        p.on_interval(make_obs([3.0, 3.0], [4, 4], misses=[50, 10], instr=[1000, 1000]))
+        ways, vals = p.bank.points(0)
+        assert vals[0] == pytest.approx(50.0)  # 50 misses / 1k instructions
+
+    def test_reset(self):
+        p = ThroughputOrientedPolicy(2, 8)
+        p.on_interval(make_obs([3.0, 3.0], [4, 4]))
+        p.reset()
+        assert p.bank.n_distinct(0) == 0
+
+    def test_name(self):
+        assert ThroughputOrientedPolicy(2, 8).name == "throughput"
+
+    def test_valid_over_many_intervals(self):
+        import numpy as np
+
+        p = ThroughputOrientedPolicy(4, 32)
+        rng = np.random.default_rng(9)
+        targets = [8] * 4
+        for i in range(20):
+            out = p.on_interval(
+                make_obs(
+                    [2.0] * 4, targets, index=i,
+                    misses=[int(5 + 50 * rng.random()) for _ in range(4)],
+                )
+            )
+            assert sum(out) == 32 and min(out) >= 1
+            targets = out
+
+
+class TestFairnessPolicy:
+    def test_balances_mpki(self):
+        p = FairnessOrientedPolicy(2, 8, bootstrap_intervals=1)
+        p.on_interval(make_obs([3.0, 3.0], [4, 4], misses=[80, 10]))
+        out = p.on_interval(make_obs([3.0, 3.0], [6, 2], misses=[60, 20]))
+        assert sum(out) == 8
+        assert min(out) >= 1
+
+    def test_equal_behaviour_stays_equal(self):
+        p = FairnessOrientedPolicy(2, 8, bootstrap_intervals=1)
+        p.on_interval(make_obs([3.0, 3.0], [4, 4], misses=[20, 20]))
+        out = p.on_interval(make_obs([3.0, 3.0], [4, 4], misses=[20, 20]))
+        assert out == [4, 4]
+
+    def test_name(self):
+        assert FairnessOrientedPolicy(2, 8).name == "fairness"
+
+    def test_reset(self):
+        p = FairnessOrientedPolicy(2, 8)
+        p.on_interval(make_obs([3.0, 3.0], [4, 4]))
+        p.reset()
+        assert p.bank.n_distinct(0) == 0

@@ -1,0 +1,103 @@
+"""Tests for the shape-preserving PCHIP interpolant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.interpolate import PchipInterpolator
+
+from repro.mathx.pchip import PchipSpline1D
+
+
+class TestPchip:
+    def test_passes_through_knots(self):
+        x = np.array([1.0, 4.0, 6.0, 8.0])
+        y = np.array([6.0, 6.0, 3.5, 3.5])
+        p = PchipSpline1D(x, y)
+        assert np.allclose(p(x), y)
+
+    def test_matches_scipy_inside_range(self):
+        x = np.array([1.0, 3.0, 4.0, 7.0, 10.0])
+        y = np.array([9.0, 5.0, 4.5, 2.0, 1.8])
+        ours = PchipSpline1D(x, y)
+        ref = PchipInterpolator(x, y)
+        q = np.linspace(1.0, 10.0, 73)
+        assert np.allclose(ours(q), ref(q), atol=1e-9)
+
+    def test_no_overshoot_between_monotone_knots(self):
+        """The property the natural spline lacks: monotone data give a
+        monotone interpolant, even across flat-to-steep transitions."""
+        x = np.array([1.0, 4.0, 6.0, 8.0])
+        y = np.array([6.05, 6.05, 3.55, 3.55])  # PAVA-pooled shape
+        p = PchipSpline1D(x, y)
+        q = np.linspace(1.0, 8.0, 200)
+        vals = p(q)
+        assert np.all(np.diff(vals) <= 1e-9)
+        assert vals.max() <= 6.05 + 1e-9
+        assert vals.min() >= 3.55 - 1e-9
+
+    def test_two_points_is_linear(self):
+        p = PchipSpline1D([2.0, 6.0], [8.0, 4.0])
+        assert p(4.0) == pytest.approx(6.0)
+
+    def test_clamp_extrapolation(self):
+        p = PchipSpline1D([2.0, 6.0], [8.0, 4.0], extrapolation="clamp")
+        assert p(0.0) == pytest.approx(8.0)
+        assert p(100.0) == pytest.approx(4.0)
+
+    def test_linear_extrapolation_uses_edge_tangent(self):
+        p = PchipSpline1D([2.0, 6.0], [8.0, 4.0], extrapolation="linear")
+        assert p(8.0) == pytest.approx(2.0)
+
+    def test_scalar_and_vector(self):
+        p = PchipSpline1D([1, 2, 3], [3.0, 2.0, 1.0])
+        assert isinstance(p(1.5), float)
+        assert p(np.array([1.5, 2.5])).shape == (2,)
+
+    def test_knots_property(self):
+        p = PchipSpline1D([1, 2], [2.0, 1.0])
+        assert list(p.knots) == [1.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PchipSpline1D([1], [1.0])
+        with pytest.raises(ValueError):
+            PchipSpline1D([1, 1], [1.0, 2.0])  # non-increasing x
+        with pytest.raises(ValueError):
+            PchipSpline1D([1, 2], [1.0, float("nan")])
+        with pytest.raises(ValueError):
+            PchipSpline1D([1, 2], [1.0, 2.0], extrapolation="weird")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=3,
+            max_size=10,
+        )
+    )
+    def test_property_monotone_data_monotone_interpolant(self, raw):
+        # Sort decreasing to build non-increasing data over 1..n knots.
+        y = np.sort(np.asarray(raw))[::-1].copy()
+        x = np.arange(1.0, y.size + 1)
+        p = PchipSpline1D(x, y)
+        q = np.linspace(1.0, float(y.size), 157)
+        vals = p(q)
+        assert np.all(np.diff(vals) <= 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=3,
+            max_size=8,
+        )
+    )
+    def test_property_bounded_by_data_range(self, raw):
+        y = np.asarray(raw)
+        x = np.arange(1.0, y.size + 1)
+        p = PchipSpline1D(x, y)
+        q = np.linspace(1.0, float(y.size), 97)
+        vals = p(q)
+        assert vals.max() <= y.max() + 1e-9
+        assert vals.min() >= y.min() - 1e-9

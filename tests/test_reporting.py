@@ -1,0 +1,73 @@
+"""Tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import format_bar_chart, format_series, format_table, pct
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["a", "bb"], [["x", 1.5], ["yy", 2.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "1.500" in out
+
+    def test_title(self):
+        out = format_table(["a"], [["x"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_numeric_right_alignment(self):
+        out = format_table(["name", "val"], [["a", 5.0], ["bbbb", 125.0]])
+        lines = out.splitlines()
+        assert lines[-1].endswith("125.000")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatBarChart:
+    def test_positive_bars(self):
+        out = format_bar_chart(["x", "y"], [0.1, 0.2])
+        assert "#" in out
+        assert "+10.0%" in out
+
+    def test_negative_bars_distinct(self):
+        out = format_bar_chart(["x"], [-0.1])
+        assert "-" in out and "#" not in out.splitlines()[-1].split("  ")[-1].replace("-", "-")
+
+    def test_zero_values_no_crash(self):
+        out = format_bar_chart(["x"], [0.0])
+        assert "x" in out
+
+    def test_empty(self):
+        assert "(no data)" in format_bar_chart([], [], title="t")
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["x"], [1.0, 2.0])
+
+
+class TestFormatSeries:
+    def test_chunks(self):
+        out = format_series("s", list(range(25)), per_line=10)
+        lines = out.splitlines()
+        assert len(lines) == 4  # header + 3 chunks
+        assert "[ 20]" in lines[-1]
+
+    def test_empty(self):
+        out = format_series("s", [])
+        assert "0 points" in out
+
+
+class TestPct:
+    def test_signed(self):
+        assert pct(0.093) == "+9.3%"
+        assert pct(-0.05) == "-5.0%"
+
+    def test_unsigned(self):
+        assert pct(0.093, signed=False) == "9.3%"

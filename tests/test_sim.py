@@ -1,0 +1,106 @@
+"""Tests for the configuration and top-level driver."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.partition import POLICY_REGISTRY
+from repro.partition.static import StaticPolicy
+from repro.sim.config import SystemConfig
+from repro.sim.driver import clear_program_cache, make_policy, prepare_program, run_application
+
+
+class TestSystemConfig:
+    def test_defaults(self):
+        cfg = SystemConfig.default()
+        assert cfg.n_threads == 4
+        assert cfg.total_ways == 32
+        assert cfg.l1_geometry.size_bytes == 8 * 1024
+
+    def test_eight_core(self):
+        assert SystemConfig.eight_core().n_threads == 8
+
+    def test_quick_is_smaller(self):
+        q = SystemConfig.quick()
+        d = SystemConfig.default()
+        assert q.n_intervals < d.n_intervals
+        assert q.interval_instructions < d.interval_instructions
+
+    def test_with_updates(self):
+        cfg = SystemConfig.default().with_(seed=99)
+        assert cfg.seed == 99
+        assert cfg.n_threads == 4
+
+    def test_too_few_ways_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_threads=8, l2_geometry=CacheGeometry(sets=4, ways=4))
+
+    def test_line_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(
+                l1_geometry=CacheGeometry(sets=32, ways=4, line_bytes=32),
+                l2_geometry=CacheGeometry(sets=32, ways=32, line_bytes=64),
+            )
+
+    def test_describe_covers_figure2_fields(self):
+        desc = SystemConfig.default().describe()
+        assert desc["L2 cache type"] == "Shared"
+        assert desc["L1 cache size"] == "8 KB"
+        assert "L2 cache associativity" in desc
+
+    def test_hashable_for_memoisation(self):
+        assert hash(SystemConfig.default()) == hash(SystemConfig.default())
+
+
+class TestDriver:
+    def test_prepare_program_memoised(self, tiny_config):
+        clear_program_cache()
+        c1 = prepare_program("ft", tiny_config)
+        c2 = prepare_program("ft", tiny_config)
+        assert c1 is c2
+        clear_program_cache()
+        c3 = prepare_program("ft", tiny_config)
+        assert c3 is not c1
+
+    def test_different_seed_different_program(self, tiny_config):
+        c1 = prepare_program("ft", tiny_config)
+        c2 = prepare_program("ft", tiny_config.with_(seed=1234))
+        assert c1 is not c2
+
+    def test_make_policy_from_registry(self, tiny_config):
+        for name in POLICY_REGISTRY:
+            p = make_policy(name, tiny_config)
+            assert p.name == name
+
+    def test_make_policy_passthrough(self, tiny_config):
+        p = StaticPolicy(4, 8, [5, 1, 1, 1])
+        assert make_policy(p, tiny_config) is p
+
+    def test_make_policy_unknown(self, tiny_config):
+        with pytest.raises(KeyError):
+            make_policy("nope", tiny_config)
+
+    def test_run_application_end_to_end(self, tiny_config):
+        r = run_application("ft", "shared", tiny_config)
+        assert r.app == "ft"
+        assert r.policy == "shared"
+        assert r.total_cycles > 0
+        assert len(r.intervals) >= tiny_config.n_intervals - 1
+        assert r.total_instructions > 0
+
+    def test_run_is_deterministic(self, tiny_config):
+        r1 = run_application("cg", "model-based", tiny_config)
+        r2 = run_application("cg", "model-based", tiny_config)
+        assert r1.total_cycles == r2.total_cycles
+        assert r1.thread_instructions == r2.thread_instructions
+
+    def test_policies_share_identical_traces(self, tiny_config):
+        r1 = run_application("cg", "shared", tiny_config)
+        r2 = run_application("cg", "static-equal", tiny_config)
+        assert r1.thread_instructions == r2.thread_instructions
+        assert r1.thread_l1_accesses == r2.thread_l1_accesses
+
+    def test_workload_profile_object_accepted(self, tiny_config):
+        from repro.trace.workloads import get_workload
+
+        r = run_application(get_workload("ft"), "shared", tiny_config)
+        assert r.app == "ft"

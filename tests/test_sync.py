@@ -1,0 +1,89 @@
+"""Tests for program structure and barrier accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sync.barrier import BarrierEvent, BarrierLog
+from repro.sync.program import Section, SyntheticProgram, ThreadWork
+
+
+def work(n=4, gap=1):
+    return ThreadWork(
+        addrs=np.arange(n, dtype=np.int64) * 64,
+        gaps=np.full(n, gap, dtype=np.int32),
+    )
+
+
+class TestThreadWork:
+    def test_instruction_count(self):
+        w = work(n=4, gap=2)
+        assert w.instructions == 4 * 2 + 4
+        assert w.n_mem_ops == 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadWork(addrs=np.zeros(3, dtype=np.int64), gaps=np.zeros(2, dtype=np.int32))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadWork(addrs=np.zeros((2, 2), dtype=np.int64), gaps=np.zeros((2, 2), dtype=np.int32))
+
+
+class TestSectionAndProgram:
+    def test_section_totals(self):
+        s = Section(works=(work(2), work(3)))
+        assert s.n_threads == 2
+        assert s.instructions == work(2).instructions + work(3).instructions
+
+    def test_empty_section_rejected(self):
+        with pytest.raises(ValueError):
+            Section(works=())
+
+    def test_program_thread_count_consistency(self):
+        s1 = Section(works=(work(), work()))
+        s2 = Section(works=(work(),))
+        with pytest.raises(ValueError):
+            SyntheticProgram(name="p", sections=(s1, s2))
+
+    def test_program_totals(self):
+        s = Section(works=(work(2), work(2)))
+        p = SyntheticProgram(name="p", sections=(s, s))
+        assert p.n_threads == 2
+        assert p.instructions == 2 * s.instructions
+        assert p.thread_instructions(0) == 2 * work(2).instructions
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticProgram(name="p", sections=())
+
+
+class TestBarrier:
+    def test_event_release_and_critical(self):
+        ev = BarrierEvent(section_index=0, arrivals=(10.0, 30.0, 20.0))
+        assert ev.release_cycle == 30.0
+        assert ev.critical_thread == 1
+        assert ev.slack(0) == 20.0
+        assert ev.slack(1) == 0.0
+        assert ev.total_slack == 30.0
+
+    def test_log_histogram(self):
+        log = BarrierLog(2)
+        log.record(0, [5.0, 9.0])
+        log.record(1, [8.0, 3.0])
+        log.record(2, [1.0, 2.0])
+        assert log.critical_thread_histogram() == [1, 2]
+
+    def test_log_slack_totals(self):
+        log = BarrierLog(2)
+        log.record(0, [5.0, 9.0])
+        log.record(1, [8.0, 3.0])
+        assert log.total_slack_per_thread() == [4.0, 5.0]
+
+    def test_wrong_arrival_count_rejected(self):
+        log = BarrierLog(3)
+        with pytest.raises(ValueError):
+            log.record(0, [1.0, 2.0])
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            BarrierLog(0)

@@ -1,0 +1,106 @@
+"""Tests for thread behaviours and phase schedules."""
+
+import pytest
+
+from repro.trace.behavior import PhaseSegment, ThreadBehavior, behavior_schedule
+
+
+class TestThreadBehavior:
+    def test_defaults_valid(self):
+        b = ThreadBehavior(ws_lines=100)
+        assert b.ws_lines == 100
+
+    def test_invalid_ws(self):
+        with pytest.raises(ValueError):
+            ThreadBehavior(ws_lines=0)
+
+    def test_invalid_mem_ratio(self):
+        with pytest.raises(ValueError):
+            ThreadBehavior(ws_lines=10, mem_ratio=0.0)
+        with pytest.raises(ValueError):
+            ThreadBehavior(ws_lines=10, mem_ratio=1.5)
+
+    def test_invalid_skew(self):
+        with pytest.raises(ValueError):
+            ThreadBehavior(ws_lines=10, skew=0.5)
+
+    def test_fractions_must_fit(self):
+        with pytest.raises(ValueError):
+            ThreadBehavior(ws_lines=10, share_frac=0.7, stream_frac=0.5)
+
+    def test_invalid_burst(self):
+        with pytest.raises(ValueError):
+            ThreadBehavior(ws_lines=10, stream_burst=1.5)
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            ThreadBehavior(ws_lines=10, stream_stride_words=0)
+
+    def test_scaled_ws(self):
+        b = ThreadBehavior(ws_lines=100, mem_ratio=0.4)
+        s = b.scaled(ws_scale=1.5)
+        assert s.ws_lines == 150
+        assert s.mem_ratio == pytest.approx(0.4)
+
+    def test_scaled_mem_clamped(self):
+        b = ThreadBehavior(ws_lines=100, mem_ratio=0.8)
+        assert b.scaled(mem_scale=2.0).mem_ratio == 1.0
+        assert b.scaled(mem_scale=0.001).mem_ratio == pytest.approx(0.01)
+
+    def test_scaled_ws_floor_one(self):
+        b = ThreadBehavior(ws_lines=2)
+        assert b.scaled(ws_scale=0.01).ws_lines == 1
+
+    def test_frozen(self):
+        b = ThreadBehavior(ws_lines=10)
+        with pytest.raises(AttributeError):
+            b.ws_lines = 20  # type: ignore[misc]
+
+
+class TestPhaseSegment:
+    def test_behavior_for_tiles_scales(self):
+        seg = PhaseSegment(intervals=2, ws_scales=(1.0, 2.0))
+        b = ThreadBehavior(ws_lines=100)
+        assert seg.behavior_for(b, 0).ws_lines == 100
+        assert seg.behavior_for(b, 1).ws_lines == 200
+        assert seg.behavior_for(b, 2).ws_lines == 100  # tiled
+
+    def test_invalid_intervals(self):
+        with pytest.raises(ValueError):
+            PhaseSegment(intervals=0)
+
+    def test_empty_scales_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSegment(intervals=1, ws_scales=())
+
+
+class TestBehaviorSchedule:
+    def test_no_phases_means_steady(self):
+        base = [ThreadBehavior(ws_lines=100), ThreadBehavior(ws_lines=200)]
+        sched = behavior_schedule(base, [], 5)
+        assert len(sched) == 5
+        assert all(row[0].ws_lines == 100 and row[1].ws_lines == 200 for row in sched)
+
+    def test_phases_cycle(self):
+        base = [ThreadBehavior(ws_lines=100)]
+        phases = [
+            PhaseSegment(intervals=2, ws_scales=(1.0,)),
+            PhaseSegment(intervals=1, ws_scales=(2.0,)),
+        ]
+        sched = behavior_schedule(base, phases, 7)
+        ws = [row[0].ws_lines for row in sched]
+        assert ws == [100, 100, 200, 100, 100, 200, 100]
+
+    def test_schedule_shape(self):
+        base = [ThreadBehavior(ws_lines=10)] * 3
+        sched = behavior_schedule(base, [PhaseSegment(intervals=4)], 6)
+        assert len(sched) == 6
+        assert all(len(row) == 3 for row in sched)
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            behavior_schedule([], [], 5)
+
+    def test_zero_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            behavior_schedule([ThreadBehavior(ws_lines=10)], [], 0)

@@ -1,0 +1,141 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.trace.behavior import ThreadBehavior
+from repro.trace.generator import (
+    MAX_REGION_LINES,
+    STREAM_REGION_LINES,
+    WORD_BYTES,
+    ThreadTraceGenerator,
+)
+from repro.trace.layout import STREAM_BASE_ADDRESS, AddressLayout
+
+
+@pytest.fixture
+def layout():
+    return AddressLayout(line_bytes=64)
+
+
+def gen(thread=0, seed=7, layout=None):
+    return ThreadTraceGenerator(thread, layout or AddressLayout(), seed)
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self, layout):
+        b = ThreadBehavior(ws_lines=100, share_frac=0.2, stream_frac=0.1)
+        a1, g1 = gen(seed=3, layout=layout).generate(b, 5000)
+        a2, g2 = gen(seed=3, layout=layout).generate(b, 5000)
+        assert np.array_equal(a1, a2)
+        assert np.array_equal(g1, g2)
+
+    def test_different_seeds_differ(self, layout):
+        b = ThreadBehavior(ws_lines=100)
+        a1, _ = gen(seed=3, layout=layout).generate(b, 5000)
+        a2, _ = gen(seed=4, layout=layout).generate(b, 5000)
+        assert not np.array_equal(a1, a2)
+
+    def test_instruction_count_approximates_target(self, layout):
+        b = ThreadBehavior(ws_lines=100, mem_ratio=0.4)
+        addrs, gaps = gen(layout=layout).generate(b, 20_000)
+        total = int(gaps.sum()) + addrs.size
+        assert 0.9 * 20_000 < total < 1.1 * 20_000
+
+    def test_mem_ratio_respected(self, layout):
+        b = ThreadBehavior(ws_lines=100, mem_ratio=0.25)
+        addrs, gaps = gen(layout=layout).generate(b, 40_000)
+        total = int(gaps.sum()) + addrs.size
+        assert addrs.size / total == pytest.approx(0.25, rel=0.1)
+
+    def test_private_region_bounded_by_ws(self, layout):
+        b = ThreadBehavior(ws_lines=64, share_frac=0.0, stream_frac=0.0)
+        addrs, _ = gen(thread=2, layout=layout).generate(b, 10_000)
+        base = layout.private_base(2)
+        offsets = (addrs - base) // 64
+        assert offsets.min() >= 0
+        assert offsets.max() < 64
+
+    def test_regions_disjoint_between_threads(self, layout):
+        b = ThreadBehavior(ws_lines=1000, share_frac=0.0, stream_frac=0.0)
+        a0, _ = gen(thread=0, layout=layout).generate(b, 5000)
+        a1, _ = gen(thread=1, layout=layout).generate(b, 5000)
+        assert set(a0.tolist()).isdisjoint(set(a1.tolist()))
+
+    def test_shared_region_common_across_threads(self, layout):
+        b = ThreadBehavior(ws_lines=100, share_frac=0.9, stream_frac=0.0, shared_ws_lines=8)
+        a0, _ = gen(thread=0, layout=layout).generate(b, 5000)
+        a1, _ = gen(thread=1, layout=layout).generate(b, 5000)
+        shared0 = {a for a in a0.tolist() if layout.classify(a) == "shared"}
+        shared1 = {a for a in a1.tolist() if layout.classify(a) == "shared"}
+        assert shared0 & shared1
+
+    def test_skew_concentrates_accesses(self, layout):
+        flat = ThreadBehavior(ws_lines=1000, skew=1.0, share_frac=0.0, stream_frac=0.0)
+        hot = ThreadBehavior(ws_lines=1000, skew=3.0, share_frac=0.0, stream_frac=0.0)
+        af, _ = gen(layout=layout).generate(flat, 30_000)
+        ah, _ = gen(layout=layout).generate(hot, 30_000)
+        base = layout.private_base(0)
+        top_f = np.mean((af - base) // 64 < 100)
+        top_h = np.mean((ah - base) // 64 < 100)
+        assert top_h > top_f + 0.2  # hot skew concentrates on low ranks
+
+    def test_stream_is_sequential_words(self, layout):
+        b = ThreadBehavior(ws_lines=16, stream_frac=1.0, share_frac=0.0, stream_burst=0.0)
+        addrs, _ = gen(layout=layout).generate(b, 2000)
+        stream = addrs[addrs >= STREAM_BASE_ADDRESS]
+        diffs = np.diff(stream)
+        assert (diffs == WORD_BYTES).all()
+
+    def test_stream_stride_multiplies(self, layout):
+        b = ThreadBehavior(
+            ws_lines=16, stream_frac=1.0, share_frac=0.0, stream_burst=0.0,
+            stream_stride_words=8,
+        )
+        addrs, _ = gen(layout=layout).generate(b, 2000)
+        stream = addrs[addrs >= STREAM_BASE_ADDRESS]
+        assert (np.diff(stream) == 8 * WORD_BYTES).all()
+
+    def test_stream_cursor_persists_across_sections(self, layout):
+        b = ThreadBehavior(ws_lines=16, stream_frac=1.0, share_frac=0.0, stream_burst=0.0)
+        g = gen(layout=layout)
+        a1, _ = g.generate(b, 1000)
+        a2, _ = g.generate(b, 1000)
+        assert a2[0] == a1[-1] + WORD_BYTES
+
+    def test_burst_is_contiguous(self, layout):
+        b = ThreadBehavior(
+            ws_lines=64, stream_frac=0.3, share_frac=0.0, stream_burst=1.0
+        )
+        addrs, _ = gen(layout=layout).generate(b, 10_000)
+        is_stream = addrs >= STREAM_BASE_ADDRESS
+        idx = np.flatnonzero(is_stream)
+        assert idx.size > 0
+        # One contiguous run.
+        assert (np.diff(idx) == 1).all()
+
+    def test_unburst_stream_is_scattered(self, layout):
+        b = ThreadBehavior(
+            ws_lines=64, stream_frac=0.3, share_frac=0.0, stream_burst=0.0
+        )
+        addrs, _ = gen(layout=layout).generate(b, 10_000)
+        idx = np.flatnonzero(addrs >= STREAM_BASE_ADDRESS)
+        assert idx.size > 0
+        assert not (np.diff(idx) == 1).all()
+
+    def test_ws_exceeding_region_rejected(self, layout):
+        b = ThreadBehavior(ws_lines=MAX_REGION_LINES + 1)
+        with pytest.raises(ValueError):
+            gen(layout=layout).generate(b, 1000)
+
+    def test_zero_instructions_rejected(self, layout):
+        with pytest.raises(ValueError):
+            gen(layout=layout).generate(ThreadBehavior(ws_lines=10), 0)
+
+    def test_stream_wraps_region(self, layout):
+        b = ThreadBehavior(ws_lines=16, stream_frac=1.0, share_frac=0.0, stream_burst=0.0)
+        g = gen(layout=layout)
+        g._stream_cursor = STREAM_REGION_LINES * 8 - 2  # near the wrap point (words)
+        addrs, _ = g.generate(b, 100)
+        region_bytes = STREAM_REGION_LINES * 64
+        assert ((addrs - layout.stream_base(0)) < region_bytes).all()

@@ -1,0 +1,74 @@
+"""Tests for program trace import/export."""
+
+import numpy as np
+import pytest
+
+from repro.trace.builder import build_program
+from repro.trace.io import load_program, save_program
+from repro.trace.workloads import get_workload
+
+
+@pytest.fixture
+def program():
+    return build_program(
+        get_workload("cg"), n_threads=2, n_intervals=2,
+        interval_instructions=1500, sections_per_interval=2, seed=7,
+    )
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, program, tmp_path):
+        p = tmp_path / "prog.npz"
+        save_program(program, p)
+        loaded = load_program(p)
+        assert loaded.name == program.name
+        assert loaded.n_threads == program.n_threads
+        assert len(loaded.sections) == len(program.sections)
+        for s1, s2 in zip(program.sections, loaded.sections, strict=True):
+            for w1, w2 in zip(s1.works, s2.works, strict=True):
+                assert np.array_equal(w1.addrs, w2.addrs)
+                assert np.array_equal(w1.gaps, w2.gaps)
+
+    def test_meta_preserved(self, program, tmp_path):
+        p = tmp_path / "prog.npz"
+        save_program(program, p)
+        assert load_program(p).meta["seed"] == 7
+
+    def test_loaded_program_simulates_identically(self, program, tmp_path):
+        from repro.cache.shared import PartitionedSharedCache
+        from repro.cpu.engine import CMPEngine
+        from repro.cpu.streams import compile_program
+        from repro.sim.config import SystemConfig
+
+        cfg = SystemConfig.quick(n_threads=2)
+        p = tmp_path / "prog.npz"
+        save_program(program, p)
+        loaded = load_program(p)
+
+        def run(prog):
+            compiled = compile_program(prog, cfg.l1_geometry, cfg.timing)
+            l2 = PartitionedSharedCache(cfg.l2_geometry, 2, enforce_partition=False)
+            return CMPEngine(compiled, l2, cfg.timing, None,
+                             interval_instructions=cfg.interval_instructions).run()
+
+        assert run(program).total_cycles == run(loaded).total_cycles
+
+    def test_not_a_program_file(self, tmp_path):
+        p = tmp_path / "junk.npz"
+        np.savez(p, stuff=np.zeros(3))
+        with pytest.raises(ValueError, match="missing header"):
+            load_program(p)
+
+    def test_version_mismatch(self, program, tmp_path):
+        import json
+
+        p = tmp_path / "prog.npz"
+        save_program(program, p)
+        # Corrupt the version field.
+        data = dict(np.load(p))
+        header = json.loads(bytes(data["__header__"].tobytes()).decode())
+        header["format_version"] = 999
+        data["__header__"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        np.savez(p, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_program(p)

@@ -1,0 +1,37 @@
+"""Tests for the address-space layout."""
+
+import pytest
+
+from repro.trace.layout import STREAM_BASE_ADDRESS, AddressLayout
+
+
+class TestLayout:
+    def test_regions_disjoint(self):
+        lay = AddressLayout()
+        assert lay.shared_base() < lay.private_base(0) < lay.stream_base(0)
+
+    def test_thread_strides(self):
+        lay = AddressLayout()
+        assert lay.private_base(1) - lay.private_base(0) == 1 << 32
+        assert lay.stream_base(3) > lay.stream_base(0)
+
+    def test_negative_thread_rejected(self):
+        lay = AddressLayout()
+        with pytest.raises(ValueError):
+            lay.private_base(-1)
+        with pytest.raises(ValueError):
+            lay.stream_base(-1)
+
+    def test_classify(self):
+        lay = AddressLayout()
+        assert lay.classify(lay.shared_base() + 100) == "shared"
+        assert lay.classify(lay.private_base(2) + 64) == "private"
+        assert lay.classify(lay.stream_base(0) + 8) == "stream"
+        assert lay.classify(42) == "unknown"
+
+    def test_stream_base_constant_matches_layout(self):
+        lay = AddressLayout()
+        assert lay.stream_base(0) == STREAM_BASE_ADDRESS
+
+    def test_lines_to_bytes(self):
+        assert AddressLayout(line_bytes=64).lines_to_bytes(10) == 640

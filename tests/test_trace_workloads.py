@@ -1,0 +1,127 @@
+"""Tests for the named workload profiles and program builder."""
+
+import numpy as np
+import pytest
+
+from repro.sync.program import SyntheticProgram
+from repro.trace.builder import build_program
+from repro.trace.workloads import WORKLOADS, WorkloadProfile, get_workload, list_workloads
+
+
+class TestRegistry:
+    def test_nine_workloads_registered(self):
+        assert len(WORKLOADS) == 9
+
+    def test_names_match_paper_suites(self):
+        names = set(list_workloads())
+        assert {"swim", "mgrid", "applu", "art", "equake", "wupwise"} <= names  # SPEC OMP
+        assert {"cg", "mg", "ft"} <= names  # NAS
+
+    def test_get_workload(self):
+        assert get_workload("swim").name == "swim"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("nonexistent")
+
+    def test_every_profile_has_four_base_threads(self):
+        for p in WORKLOADS.values():
+            assert len(p.base_behaviors) == 4
+
+    def test_every_profile_describes_itself(self):
+        for p in WORKLOADS.values():
+            assert p.description
+            assert p.suite in ("SPEC OMP", "NAS")
+
+
+class TestBehaviorsFor:
+    def test_four_threads_identity(self):
+        p = get_workload("cg")
+        assert p.behaviors_for(4) == list(p.base_behaviors)
+
+    def test_eight_threads_tiles_with_perturbation(self):
+        p = get_workload("cg")
+        b8 = p.behaviors_for(8)
+        assert len(b8) == 8
+        # First four are the base; the tiled half is perturbed but close.
+        for t in range(4, 8):
+            base = p.base_behaviors[t % 4]
+            assert abs(b8[t].ws_lines - base.ws_lines) <= 0.15 * base.ws_lines
+
+    def test_deterministic(self):
+        p = get_workload("swim")
+        assert p.behaviors_for(8) == p.behaviors_for(8)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            get_workload("swim").behaviors_for(0)
+
+    def test_heterogeneity_present(self):
+        """Every strong profile must have meaningfully different working
+        sets across threads — the paper's core observation (Fig. 3)."""
+        for name in ("swim", "mgrid", "applu", "art", "cg", "mg"):
+            ws = [b.ws_lines for b in get_workload(name).base_behaviors]
+            assert max(ws) >= 2 * min(ws), name
+
+
+class TestBuildProgram:
+    def test_shape(self):
+        prog = build_program(
+            get_workload("cg"), n_threads=4, n_intervals=3,
+            interval_instructions=2000, sections_per_interval=2, seed=5,
+        )
+        assert isinstance(prog, SyntheticProgram)
+        assert len(prog.sections) == 6
+        assert prog.n_threads == 4
+
+    def test_deterministic(self):
+        kw = dict(n_threads=2, n_intervals=2, interval_instructions=1500,
+                  sections_per_interval=2, seed=11)
+        p1 = build_program(get_workload("swim"), **kw)
+        p2 = build_program(get_workload("swim"), **kw)
+        for s1, s2 in zip(p1.sections, p2.sections, strict=True):
+            for w1, w2 in zip(s1.works, s2.works, strict=True):
+                assert np.array_equal(w1.addrs, w2.addrs)
+                assert np.array_equal(w1.gaps, w2.gaps)
+
+    def test_seed_changes_trace(self):
+        kw = dict(n_threads=2, n_intervals=1, interval_instructions=1500,
+                  sections_per_interval=1)
+        p1 = build_program(get_workload("swim"), seed=1, **kw)
+        p2 = build_program(get_workload("swim"), seed=2, **kw)
+        assert not np.array_equal(p1.sections[0].works[0].addrs, p2.sections[0].works[0].addrs)
+
+    def test_interval_instruction_budget(self):
+        prog = build_program(
+            get_workload("ft"), n_threads=4, n_intervals=4,
+            interval_instructions=4000, sections_per_interval=2, seed=5,
+        )
+        per_thread = prog.thread_instructions(0)
+        assert 0.8 * 16_000 < per_thread < 1.2 * 16_000
+
+    def test_meta_recorded(self):
+        prog = build_program(
+            get_workload("mg"), n_threads=4, n_intervals=2,
+            interval_instructions=1000, sections_per_interval=1, seed=9,
+        )
+        assert prog.meta["seed"] == 9
+        assert prog.meta["suite"] == "NAS"
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_program(get_workload("mg"), n_intervals=0)
+        with pytest.raises(ValueError):
+            build_program(get_workload("mg"), work_jitter=1.5)
+
+    def test_custom_profile(self):
+        from repro.trace.behavior import ThreadBehavior
+
+        profile = WorkloadProfile(
+            name="custom",
+            suite="NAS",
+            description="test",
+            base_behaviors=(ThreadBehavior(ws_lines=50), ThreadBehavior(ws_lines=500)),
+        )
+        prog = build_program(profile, n_threads=2, n_intervals=1,
+                             interval_instructions=1000, sections_per_interval=1)
+        assert prog.name == "custom"
