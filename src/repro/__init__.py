@@ -20,11 +20,26 @@ Public surface:
 * :mod:`repro.partition` — all partitioning policies (``POLICY_REGISTRY``).
 * :mod:`repro.trace` — the nine synthetic workload profiles (``WORKLOADS``).
 * :mod:`repro.experiments` — one runner per paper figure/table.
+* :mod:`repro.exec` — parallel execution engines and the persistent,
+  content-addressed result store (``--jobs`` / ``--cache-dir``).
 """
+
+# Defined before any subpackage import: repro.exec reads it during package
+# initialisation (the store namespaces its entries by version).
+__version__ = "1.1.0"
 
 from repro.cache import CacheGeometry, PartitionedSharedCache, PrivateCache
 from repro.core import IntervalObservation, RunResult, RuntimeSystem, ThreadModelBank
 from repro.cpu import CMPEngine, TimingModel, compile_program
+from repro.exec import (
+    ExecutionEngine,
+    JobOutcome,
+    JobSpec,
+    ProcessPoolEngine,
+    ResultStore,
+    SerialEngine,
+    run_sweep,
+)
 from repro.partition import (
     POLICY_REGISTRY,
     CPIProportionalPolicy,
@@ -39,21 +54,25 @@ from repro.partition import (
 from repro.sim import SystemConfig, prepare_program, run_application
 from repro.trace import WORKLOADS, ThreadBehavior, WorkloadProfile, get_workload, list_workloads
 
-__version__ = "1.0.0"
-
 __all__ = [
     "CMPEngine",
     "CPIProportionalPolicy",
     "CacheGeometry",
+    "ExecutionEngine",
     "FairnessOrientedPolicy",
     "IntervalObservation",
+    "JobOutcome",
+    "JobSpec",
     "ModelBasedPolicy",
     "POLICY_REGISTRY",
     "PartitionedSharedCache",
     "PartitioningPolicy",
     "PrivateCache",
+    "ProcessPoolEngine",
+    "ResultStore",
     "RunResult",
     "RuntimeSystem",
+    "SerialEngine",
     "SharedCachePolicy",
     "StaticEqualPolicy",
     "StaticPolicy",
@@ -70,4 +89,5 @@ __all__ = [
     "list_workloads",
     "prepare_program",
     "run_application",
+    "run_sweep",
 ]

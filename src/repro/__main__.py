@@ -5,13 +5,20 @@ Commands
 run        simulate one application under one policy
 compare    run all policies on one or more applications
 figure     regenerate a paper figure/table by id (fig3, fig20, ...)
+sweep      fan a grid of apps x policies x seeds x thread-counts out
 list       list workloads, policies and experiments
+
+Every simulating command accepts ``--jobs N`` (simulate on N worker
+processes), ``--cache-dir DIR`` (persist results in a content-addressed
+on-disk store, reused by later invocations) and ``-v`` (print
+execution/cache counters to stderr).
 
 Examples
 --------
     python -m repro run swim --policy model-based
-    python -m repro compare swim cg --intervals 30
-    python -m repro figure fig20
+    python -m repro compare swim cg --intervals 30 --jobs 4
+    python -m repro figure fig20 --cache-dir ~/.cache/repro
+    python -m repro sweep --apps swim cg --seeds 1 2 3 --jobs 4 -v
     python -m repro list
 """
 
@@ -21,11 +28,17 @@ import argparse
 import json
 import sys
 
+from repro.exec import ProcessPoolEngine, ResultStore, SerialEngine, run_sweep
 from repro.experiments import EXPERIMENTS, speedup_table
 from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    configure,
+    execution_stats,
+    get_result,
+    reset_execution_stats,
+)
 from repro.partition import POLICY_REGISTRY
 from repro.sim.config import SystemConfig
-from repro.sim.driver import run_application
 from repro.trace.workloads import list_workloads
 
 __all__ = ["build_parser", "main"]
@@ -47,6 +60,20 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--seed", type=int, default=1, help="workload seed")
 
+    def add_exec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for simulations (1 = serial, default)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="persist simulation results in a content-addressed store at DIR",
+        )
+        p.add_argument(
+            "-v", "--verbose", action="store_true",
+            help="print execution-engine and result-store counters to stderr",
+        )
+
     p_run = sub.add_parser("run", help="simulate one application under one policy")
     p_run.add_argument("app", help="workload name (see `repro list`)")
     p_run.add_argument(
@@ -55,15 +82,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--json", action="store_true", help="emit the full result as JSON")
     add_config_args(p_run)
+    add_exec_args(p_run)
 
     p_cmp = sub.add_parser("compare", help="all policies side by side")
     p_cmp.add_argument("apps", nargs="*", help="workloads (default: all nine)")
     add_config_args(p_cmp)
+    add_exec_args(p_cmp)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     p_fig.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
     p_fig.add_argument("--json", action="store_true", help="emit JSON instead of ASCII")
     add_config_args(p_fig)
+    add_exec_args(p_fig)
+
+    p_sw = sub.add_parser(
+        "sweep", help="fan a grid of apps x policies x seeds x thread-counts out"
+    )
+    p_sw.add_argument(
+        "--apps", nargs="+", default=None, metavar="APP",
+        help="workloads to sweep (default: all)",
+    )
+    p_sw.add_argument(
+        "--policies", nargs="+", default=None, metavar="POLICY",
+        choices=sorted(POLICY_REGISTRY),
+        help="policies to sweep (default: shared, static-equal, throughput, model-based)",
+    )
+    p_sw.add_argument(
+        "--seeds", nargs="+", type=int, default=[1], metavar="SEED",
+        help="workload seeds to sweep",
+    )
+    p_sw.add_argument(
+        "--thread-counts", nargs="+", type=int, default=[4], metavar="N",
+        help="core/thread counts to sweep",
+    )
+    p_sw.add_argument(
+        "--baseline", default=None,
+        help="policy speedups are measured against (default: shared if swept)",
+    )
+    p_sw.add_argument("--json", action="store_true", help="emit JSON instead of ASCII")
+    p_sw.add_argument("--intervals", type=int, default=50, help="execution intervals")
+    p_sw.add_argument(
+        "--interval-instructions", type=int, default=20_000,
+        help="instructions per thread per interval",
+    )
+    add_exec_args(p_sw)
 
     sub.add_parser("list", help="list workloads, policies and experiments")
     return parser
@@ -78,6 +140,36 @@ def _config(args: argparse.Namespace) -> SystemConfig:
     )
 
 
+def _setup_execution(args: argparse.Namespace) -> None:
+    """Install the engine/store selected by ``--jobs`` / ``--cache-dir``."""
+    engine = ProcessPoolEngine(args.jobs) if args.jobs > 1 else SerialEngine()
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    configure(engine=engine, store=store)
+    reset_execution_stats()
+
+
+def _report_execution(args: argparse.Namespace) -> None:
+    """One stderr line of counters, so a warm-cache run can be *verified*
+    to have simulated nothing (``simulated=0``)."""
+    if not args.verbose:
+        return
+    stats = execution_stats()
+    from repro.experiments.runner import current_engine
+
+    line = (
+        f"exec: engine={current_engine().name} jobs={args.jobs} "
+        f"simulated={stats['simulated']} memo-hits={stats['memo_hits']} "
+        f"store-hits={stats['store_hits']}"
+    )
+    if "store" in stats:
+        s = stats["store"]
+        line += (
+            f" store-misses={s['misses']} store-writes={s['writes']}"
+            f" store-corrupt={s['corrupt']}"
+        )
+    print(line, file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -87,12 +179,21 @@ def main(argv: list[str] | None = None) -> int:
         print("experiments:" + " " + ", ".join(EXPERIMENTS))
         return 0
 
+    _setup_execution(args)
+
     if args.command == "run":
+        if args.app not in list_workloads():
+            print(
+                f"unknown workload {args.app!r}; known: {', '.join(list_workloads())}",
+                file=sys.stderr,
+            )
+            return 2
         config = _config(args)
-        result = run_application(args.app, args.policy, config)
+        result = get_result(args.app, args.policy, config)
         if args.json:
             json.dump(result.to_dict(), sys.stdout, indent=2)
             print()
+            _report_execution(args)
             return 0
         rows = [
             [f"thread {t}", f"{result.thread_cpi(t):.2f}", result.l2_totals.misses[t],
@@ -107,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
         final = result.intervals[-1].observation if result.intervals else None
         if final is not None:
             print(f"\nfinal way partition: {list(final.targets)}")
+        _report_execution(args)
         return 0
 
     if args.command == "compare":
@@ -117,6 +219,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
             return 2
         print(speedup_table(config, apps))
+        _report_execution(args)
         return 0
 
     if args.command == "figure":
@@ -129,7 +232,60 @@ def main(argv: list[str] | None = None) -> int:
             print()
         else:
             print(result.format())
+        _report_execution(args)
         return 0
+
+    if args.command == "sweep":
+        apps = args.apps or list_workloads()
+        unknown = [a for a in apps if a not in list_workloads()]
+        if unknown:
+            print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        policies = args.policies or ["shared", "static-equal", "throughput", "model-based"]
+        baseline = args.baseline
+        if baseline is not None and baseline not in policies:
+            print(
+                f"baseline {baseline!r} is not among the swept policies: "
+                f"{', '.join(policies)}",
+                file=sys.stderr,
+            )
+            return 2
+        config = SystemConfig.default().with_(
+            n_intervals=args.intervals,
+            interval_instructions=args.interval_instructions,
+        )
+        from repro.experiments.runner import current_engine, current_store
+
+        result = run_sweep(
+            apps,
+            policies,
+            seeds=args.seeds,
+            thread_counts=args.thread_counts,
+            config=config,
+            engine=current_engine(),
+            store=current_store(),
+            baseline=baseline,
+        )
+        if args.json:
+            json.dump(result.to_dict(), sys.stdout, indent=2)
+            print()
+        else:
+            print(result.format())
+        if args.verbose:
+            # The sweep drives the engine/store itself, so report its own
+            # counters rather than the runner-module ones.
+            line = (
+                f"exec: engine={result.engine} jobs={args.jobs} "
+                f"simulated={result.simulated} store-hits={result.store_hits}"
+            )
+            if result.store_stats is not None:
+                s = result.store_stats
+                line += (
+                    f" store-misses={s['misses']} store-writes={s['writes']}"
+                    f" store-corrupt={s['corrupt']}"
+                )
+            print(line, file=sys.stderr)
+        return 0 if not result.failures else 1
 
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 

@@ -58,6 +58,14 @@ class CacheGeometry:
             raise ValueError(f"{size_bytes} bytes / {line_bytes}B lines not divisible by {ways} ways")
         return cls(sets=lines // ways, ways=ways, line_bytes=line_bytes)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; :meth:`from_dict` round-trips it."""
+        return {"sets": self.sets, "ways": self.ways, "line_bytes": self.line_bytes}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheGeometry":
+        return cls(sets=data["sets"], ways=data["ways"], line_bytes=data["line_bytes"])
+
     @property
     def size_bytes(self) -> int:
         return self.sets * self.ways * self.line_bytes

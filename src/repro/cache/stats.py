@@ -84,6 +84,30 @@ class StatsSnapshot:
             return 0.0
         return cons / (cons + dest)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; :meth:`from_dict` round-trips it."""
+        return {
+            "accesses": list(self.accesses),
+            "hits": list(self.hits),
+            "misses": list(self.misses),
+            "evictions": list(self.evictions),
+            "inter_thread_hits": list(self.inter_thread_hits),
+            "inter_thread_evictions": list(self.inter_thread_evictions),
+            "intra_thread_hits": list(self.intra_thread_hits),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StatsSnapshot":
+        return cls(
+            accesses=tuple(data["accesses"]),
+            hits=tuple(data["hits"]),
+            misses=tuple(data["misses"]),
+            evictions=tuple(data["evictions"]),
+            inter_thread_hits=tuple(data["inter_thread_hits"]),
+            inter_thread_evictions=tuple(data["inter_thread_evictions"]),
+            intra_thread_hits=tuple(data["intra_thread_hits"]),
+        )
+
 
 class CacheStats:
     """Mutable per-thread counters updated on the cache's hot path.

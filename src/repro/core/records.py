@@ -40,6 +40,28 @@ class IntervalObservation:
     def n_threads(self) -> int:
         return len(self.cpi)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; :meth:`from_dict` round-trips it."""
+        return {
+            "index": self.index,
+            "cpi": list(self.cpi),
+            "instructions": list(self.instructions),
+            "busy_cycles": list(self.busy_cycles),
+            "targets": list(self.targets),
+            "l2": self.l2.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IntervalObservation":
+        return cls(
+            index=data["index"],
+            cpi=tuple(data["cpi"]),
+            instructions=tuple(data["instructions"]),
+            busy_cycles=tuple(data["busy_cycles"]),
+            targets=tuple(data["targets"]),
+            l2=StatsSnapshot.from_dict(data["l2"]),
+        )
+
     @property
     def critical_thread(self) -> int:
         """Thread with the highest CPI in this interval."""
@@ -62,6 +84,21 @@ class IntervalRecord:
     @property
     def index(self) -> int:
         return self.observation.index
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; :meth:`from_dict` round-trips it."""
+        return {
+            **self.observation.to_dict(),
+            "new_targets": list(self.new_targets) if self.new_targets is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IntervalRecord":
+        new_targets = data["new_targets"]
+        return cls(
+            observation=IntervalObservation.from_dict(data),
+            new_targets=tuple(new_targets) if new_targets is not None else None,
+        )
 
 
 @dataclass
@@ -139,7 +176,12 @@ class RunResult:
         return [rec.observation.targets for rec in self.intervals]
 
     def to_dict(self) -> dict:
-        """JSON-serialisable summary (per-interval data included)."""
+        """Lossless JSON-serialisable form (per-interval data included).
+
+        :meth:`from_dict` reconstructs an equal :class:`RunResult`; the
+        round-trip is what lets :class:`repro.exec.ResultStore` persist
+        results on disk across harness invocations.
+        """
         return {
             "app": self.app,
             "policy": self.policy,
@@ -149,16 +191,28 @@ class RunResult:
             "thread_instructions": list(self.thread_instructions),
             "thread_busy_cycles": list(self.thread_busy_cycles),
             "thread_stall_cycles": list(self.thread_stall_cycles),
-            "intervals": [
-                {
-                    "index": rec.observation.index,
-                    "cpi": list(rec.observation.cpi),
-                    "instructions": list(rec.observation.instructions),
-                    "targets": list(rec.observation.targets),
-                    "misses": list(rec.observation.l2.misses),
-                    "accesses": list(rec.observation.l2.accesses),
-                    "new_targets": list(rec.new_targets) if rec.new_targets else None,
-                }
-                for rec in self.intervals
-            ],
+            "thread_l1_accesses": list(self.thread_l1_accesses),
+            "thread_l1_hits": list(self.thread_l1_hits),
+            "l2_totals": self.l2_totals.to_dict(),
+            "intervals": [rec.to_dict() for rec in self.intervals],
+            "barriers": self.barriers.to_dict() if self.barriers is not None else None,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Inverse of :meth:`to_dict` (derived fields are recomputed)."""
+        barriers = data.get("barriers")
+        return cls(
+            app=data["app"],
+            policy=data["policy"],
+            n_threads=data["n_threads"],
+            total_cycles=data["total_cycles"],
+            thread_instructions=tuple(data["thread_instructions"]),
+            thread_busy_cycles=tuple(data["thread_busy_cycles"]),
+            thread_stall_cycles=tuple(data["thread_stall_cycles"]),
+            l2_totals=StatsSnapshot.from_dict(data["l2_totals"]),
+            thread_l1_accesses=tuple(data["thread_l1_accesses"]),
+            thread_l1_hits=tuple(data["thread_l1_hits"]),
+            intervals=[IntervalRecord.from_dict(rec) for rec in data["intervals"]],
+            barriers=BarrierLog.from_dict(barriers) if barriers is not None else None,
+        )

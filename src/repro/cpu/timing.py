@@ -19,7 +19,7 @@ includes it in all results; we do the same).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 __all__ = ["TimingModel"]
 
@@ -49,3 +49,11 @@ class TimingModel:
             raise ValueError("expected l1_hit_cycles <= l2_hit_cycles <= mem_cycles")
         if not self.l2_hit_cycles <= self.stream_miss_cycles <= self.mem_cycles:
             raise ValueError("expected l2_hit_cycles <= stream_miss_cycles <= mem_cycles")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; :meth:`from_dict` round-trips it."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimingModel":
+        return cls(**data)

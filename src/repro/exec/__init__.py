@@ -1,0 +1,40 @@
+"""Execution layer: parallel engines and a persistent result store.
+
+Every paper figure replays ``(app, policy, config)`` simulations; this
+package is the layer between the simulator and every harness entry point
+that makes those replays cheap:
+
+* :class:`JobSpec` / :class:`JobOutcome` — the unit of work and its
+  recorded outcome (result or error, attempts, duration).
+* :class:`ExecutionEngine` — how jobs run: :class:`SerialEngine`
+  (in-process) or :class:`ProcessPoolEngine` (multiprocessing fan-out
+  with chunked submission, per-job timeouts, bounded retry with backoff
+  and graceful degradation to serial when a pool worker dies).
+* :class:`ResultStore` — an on-disk, content-addressed cache of
+  :class:`~repro.core.records.RunResult` that persists across harness
+  invocations (key = SHA-256 of the job's canonical JSON, atomic
+  write-then-rename, invalidated by ``repro.__version__``).
+* :func:`run_sweep` — fan a grid of apps × policies × seeds ×
+  thread-counts out over an engine and aggregate speedups.
+
+See DESIGN.md §A (execution appendix) for the key scheme and the
+invalidation-by-version rule.
+"""
+
+from repro.exec.engine import ExecutionEngine, SerialEngine, execute_job
+from repro.exec.jobs import JobOutcome, JobSpec
+from repro.exec.pool import ProcessPoolEngine
+from repro.exec.store import ResultStore
+from repro.exec.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "ExecutionEngine",
+    "JobOutcome",
+    "JobSpec",
+    "ProcessPoolEngine",
+    "ResultStore",
+    "SerialEngine",
+    "SweepResult",
+    "execute_job",
+    "run_sweep",
+]

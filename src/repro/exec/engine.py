@@ -1,0 +1,125 @@
+"""Execution engines: the ABC, the serial engine, and the shared retry loop.
+
+An engine turns a batch of :class:`~repro.exec.jobs.JobSpec` into a batch
+of :class:`~repro.exec.jobs.JobOutcome`, preserving order.  Engines never
+raise for a failing *job* — a job that exhausts its retry budget comes back
+as an outcome with ``error`` set, so one bad run cannot lose the results of
+the rest of a sweep.
+
+The actual simulation is performed by a *job runner* callable
+(:func:`execute_job` by default); tests inject failing or sleeping runners
+to exercise the retry/timeout machinery without a real simulation.  The
+runner must be a picklable (module-level) callable so pool engines can ship
+it to workers.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+
+from repro.core.records import RunResult
+from repro.exec.jobs import JobOutcome, JobSpec
+
+__all__ = ["ExecutionEngine", "SerialEngine", "execute_job"]
+
+
+def execute_job(spec: JobSpec) -> RunResult:
+    """Default job runner: one full simulation.
+
+    Imported lazily so that engine/bookkeeping code stays importable in
+    contexts (and subprocesses) that never simulate.
+    """
+    from repro.sim.driver import run_application
+
+    return run_application(spec.app, spec.policy, spec.config)
+
+
+class ExecutionEngine(ABC):
+    """Runs batches of jobs; subclasses choose *where* the work happens.
+
+    Parameters
+    ----------
+    max_retries:
+        How many times a failing job is retried (so a job is attempted at
+        most ``max_retries + 1`` times).
+    backoff_s:
+        Base delay before a retry round; doubles each round (exponential
+        backoff).  Zero disables the sleep.
+    job_runner:
+        Callable ``spec -> RunResult``; defaults to :func:`execute_job`.
+    """
+
+    name = "engine"
+
+    def __init__(
+        self,
+        *,
+        max_retries: int = 2,
+        backoff_s: float = 0.1,
+        job_runner: Callable[[JobSpec], RunResult] | None = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.job_runner = job_runner or execute_job
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    @abstractmethod
+    def run(self, specs: Sequence[JobSpec]) -> list[JobOutcome]:
+        """Execute every job, returning outcomes in input order."""
+
+    def run_one(self, spec: JobSpec) -> JobOutcome:
+        return self.run([spec])[0]
+
+    def _backoff_sleep(self, failed_rounds: int) -> None:
+        if self.backoff_s > 0:
+            time.sleep(self.backoff_s * (2 ** (failed_rounds - 1)))
+
+    def _execute_with_retry(
+        self, spec: JobSpec, *, attempts_used: int = 0, engine_name: str | None = None
+    ) -> JobOutcome:
+        """In-process attempt loop shared by the serial engine and by pool
+        engines degrading to serial: ``attempts_used`` carries over attempts
+        a job already consumed elsewhere (e.g. in a broken pool)."""
+        name = engine_name if engine_name is not None else self.name
+        attempts = attempts_used
+        error = "no attempts made"
+        while attempts < max(self.max_attempts, attempts_used + 1):
+            if attempts > attempts_used:
+                self._backoff_sleep(attempts - attempts_used)
+            attempts += 1
+            start = time.perf_counter()
+            try:
+                result = self.job_runner(spec)
+            except Exception as exc:  # noqa: BLE001 — a job failure is data
+                error = f"{type(exc).__name__}: {exc}"
+                continue
+            return JobOutcome(
+                spec=spec,
+                result=result,
+                attempts=attempts,
+                duration_s=time.perf_counter() - start,
+                engine=name,
+            )
+        return JobOutcome(spec=spec, error=error, attempts=attempts, engine=name)
+
+
+class SerialEngine(ExecutionEngine):
+    """Runs every job in the calling process, one after another.
+
+    This is the default engine: zero overhead, exactly the behaviour the
+    harness had before the execution layer existed — plus retries.
+    """
+
+    name = "serial"
+
+    def run(self, specs: Sequence[JobSpec]) -> list[JobOutcome]:
+        return [self._execute_with_retry(spec) for spec in specs]

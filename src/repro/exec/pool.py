@@ -1,0 +1,205 @@
+"""Multiprocessing execution engine.
+
+Fans jobs out over a ``concurrent.futures.ProcessPoolExecutor`` in bounded
+chunks.  Fault model:
+
+* a job that **raises** in a worker consumes an attempt and is retried
+  (bounded, exponential backoff between rounds) in a later round;
+* a job that exceeds the **per-job timeout** consumes an attempt; the
+  executor that may still be wedged on it is abandoned (workers are not
+  interruptible) and a fresh pool is built for the next round;
+* a **dead worker** (``BrokenProcessPool`` — e.g. the OOM killer or a
+  crash in native code) degrades the engine gracefully: every unfinished
+  job finishes in-process via the serial retry path, so a sweep always
+  completes with an outcome per job.
+
+Simulations are deterministic in ``(app, policy, config)``, so serial and
+pool execution produce identical :class:`~repro.core.records.RunResult`s —
+the engines are interchangeable, only wall-clock differs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from repro.core.records import RunResult
+from repro.exec.engine import ExecutionEngine
+from repro.exec.jobs import JobOutcome, JobSpec
+
+__all__ = ["ProcessPoolEngine"]
+
+_IndexedSpec = tuple[int, JobSpec]
+
+
+def _timed_call(job_runner: Callable[[JobSpec], RunResult], spec: JobSpec):
+    """Worker-side wrapper: run one job and report its wall-clock cost."""
+    start = time.perf_counter()
+    result = job_runner(spec)
+    return result, time.perf_counter() - start
+
+
+class ProcessPoolEngine(ExecutionEngine):
+    """Executes jobs across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; defaults to ``os.cpu_count()``.  With
+        ``jobs <= 1`` (or a single-job batch) the engine short-circuits to
+        the in-process serial path — no pool is spawned, so
+        ``get_result``-style single lookups pay no fork cost.
+    chunk_size:
+        Jobs submitted to the pool per wave, bounding the backlog of
+        pickled results held in flight.  Workers are long-lived across
+        chunks, so per-process memo caches (e.g. the compiled-program
+        cache) warm up across a sweep.
+    timeout_s:
+        Per-job cap on the wall-clock wait for that job's result once the
+        engine starts waiting on it; ``None`` waits forever.
+    mp_context:
+        Optional ``multiprocessing`` context (e.g. ``get_context("spawn")``).
+    """
+
+    name = "process-pool"
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        chunk_size: int = 8,
+        timeout_s: float | None = None,
+        max_retries: int = 2,
+        backoff_s: float = 0.1,
+        job_runner: Callable[[JobSpec], RunResult] | None = None,
+        mp_context=None,
+    ) -> None:
+        super().__init__(max_retries=max_retries, backoff_s=backoff_s, job_runner=job_runner)
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.chunk_size = chunk_size
+        self.timeout_s = timeout_s
+        self.mp_context = mp_context or multiprocessing.get_context()
+
+    def run(self, specs: Sequence[JobSpec]) -> list[JobOutcome]:
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.jobs <= 1 or len(specs) == 1:
+            # A pool buys nothing here; keep the exact serial semantics.
+            return [self._execute_with_retry(spec, engine_name=self.name) for spec in specs]
+
+        outcomes: list[JobOutcome | None] = [None] * len(specs)
+        attempts = [0] * len(specs)
+        pending: list[_IndexedSpec] = list(enumerate(specs))
+        failed_rounds = 0
+
+        while pending:
+            if failed_rounds:
+                self._backoff_sleep(failed_rounds)
+            successes, failures, remainder, degrade = self._pool_round(pending)
+            for idx, result, duration in successes:
+                attempts[idx] += 1
+                outcomes[idx] = JobOutcome(
+                    spec=specs[idx],
+                    result=result,
+                    attempts=attempts[idx],
+                    duration_s=duration,
+                    engine=self.name,
+                )
+            # Jobs in `remainder` were never dispatched (their pool went
+            # away first); they keep their attempt budget.
+            pending = list(remainder)
+            for idx, error in failures:
+                attempts[idx] += 1
+                if attempts[idx] >= self.max_attempts:
+                    outcomes[idx] = JobOutcome(
+                        spec=specs[idx], error=error, attempts=attempts[idx], engine=self.name
+                    )
+                else:
+                    pending.append((idx, specs[idx]))
+            if failures:
+                failed_rounds += 1
+            if degrade and pending:
+                pending.sort()
+                for idx, spec in pending:
+                    outcomes[idx] = self._execute_with_retry(
+                        spec, attempts_used=attempts[idx], engine_name=f"{self.name}→serial"
+                    )
+                pending = []
+
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _pool_round(self, items: Sequence[_IndexedSpec]):
+        """One pass over ``items`` through a fresh pool.
+
+        Returns ``(successes, failures, remainder, degrade)`` where
+        ``successes`` is ``(index, result, duration)`` triples, ``failures``
+        is ``(index, error)`` pairs that consumed an attempt, ``remainder``
+        holds never-dispatched items, and ``degrade`` asks the caller to
+        finish everything unfinished in-process.
+        """
+        successes: list[tuple[int, RunResult, float]] = []
+        failures: list[tuple[int, str]] = []
+        remainder: list[_IndexedSpec] = []
+        abandoned = False  # a wedged/broken pool must not be rejoined
+        degrade = False
+        try:
+            executor = ProcessPoolExecutor(max_workers=self.jobs, mp_context=self.mp_context)
+        except Exception:  # cannot even build a pool: run everything serially
+            return [], [], list(items), True
+
+        try:
+            for chunk_start in range(0, len(items), self.chunk_size):
+                chunk = items[chunk_start : chunk_start + self.chunk_size]
+                if abandoned:
+                    remainder.extend(chunk)
+                    continue
+                waves = [
+                    (idx, spec, executor.submit(_timed_call, self.job_runner, spec))
+                    for idx, spec in chunk
+                ]
+                for idx, spec, future in waves:
+                    if abandoned:
+                        # Salvage whatever already finished; everything else
+                        # goes back untouched.
+                        if future.done() and not future.cancelled():
+                            exc = future.exception()
+                            if exc is None:
+                                result, duration = future.result()
+                                successes.append((idx, result, duration))
+                            elif not isinstance(exc, BrokenExecutor):
+                                failures.append((idx, f"{type(exc).__name__}: {exc}"))
+                            else:
+                                remainder.append((idx, spec))
+                        else:
+                            future.cancel()
+                            remainder.append((idx, spec))
+                        continue
+                    try:
+                        result, duration = future.result(timeout=self.timeout_s)
+                        successes.append((idx, result, duration))
+                    except FutureTimeoutError:
+                        failures.append(
+                            (idx, f"job {spec.label} timed out after {self.timeout_s:g}s")
+                        )
+                        abandoned = True  # the worker may still be wedged on it
+                    except BrokenExecutor:
+                        failures.append((idx, f"pool worker died running {spec.label}"))
+                        abandoned = True
+                        degrade = True
+                    except Exception as exc:  # noqa: BLE001 — job failure is data
+                        failures.append((idx, f"{type(exc).__name__}: {exc}"))
+        finally:
+            executor.shutdown(wait=not abandoned, cancel_futures=abandoned)
+        return successes, failures, remainder, degrade

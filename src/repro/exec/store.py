@@ -1,0 +1,150 @@
+"""Persistent, content-addressed result store.
+
+Layout (one JSON file per result, fanned out over 256 shard directories to
+keep directory listings small)::
+
+    <root>/v<repro version>/<digest[:2]>/<digest>.json
+
+``digest`` is :attr:`repro.exec.jobs.JobSpec.digest` — the SHA-256 of the
+canonical JSON of ``(app, policy, config)``.  Addressing by content means
+there is no index to maintain or corrupt: a lookup is a single ``open``.
+
+Three rules keep the store safe to share between invocations (and between
+processes writing concurrently):
+
+* **atomic publish** — payloads are written to a temporary file in the
+  shard directory and ``os.replace``-d into place, so a reader never sees
+  a half-written file and concurrent writers of the same key simply race
+  to publish identical bytes;
+* **invalidation by version** — entries live under a ``v<version>``
+  directory and embed the version; any change to ``repro.__version__``
+  orphans the old namespace wholesale (stale results can never leak
+  across simulator changes);
+* **corruption recovery** — an unreadable, mis-keyed or truncated entry is
+  deleted and reported as a miss, never an error: the worst case is one
+  recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.core.records import RunResult
+from repro.exec.jobs import JobSpec
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """On-disk cache of :class:`~repro.core.records.RunResult` by job digest.
+
+    Counters (``hits``, ``misses``, ``writes``, ``corrupt``) accumulate over
+    the store's lifetime; the CLI surfaces them under ``-v`` so a warm run
+    can be *verified* to have simulated nothing.
+    """
+
+    def __init__(self, root: str | Path, *, version: str | None = None) -> None:
+        self.root = Path(root)
+        self.version = version if version is not None else repro.__version__
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    def path_for(self, spec: JobSpec) -> Path:
+        digest = spec.digest
+        return self.version_dir / digest[:2] / f"{digest}.json"
+
+    def get(self, spec: JobSpec) -> RunResult | None:
+        """Fetch the stored result for ``spec``, or None on miss.
+
+        A corrupt entry (bad JSON, wrong version, digest/spec mismatch) is
+        unlinked and counted in ``corrupt`` as well as ``misses``.
+        """
+        path = self.path_for(spec)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            return self._evict_corrupt(path)
+        try:
+            if payload["version"] != self.version or payload["spec"] != spec.canonical():
+                return self._evict_corrupt(path)
+            result = RunResult.from_dict(payload["result"])
+        except Exception:  # noqa: BLE001 — any malformed payload is corruption
+            return self._evict_corrupt(path)
+        self.hits += 1
+        return result
+
+    def put(self, spec: JobSpec, result: RunResult) -> Path:
+        """Persist ``result`` under ``spec``'s digest (atomic publish)."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": self.version,
+            "spec": spec.canonical(),
+            "digest": spec.digest,
+            "result": result.to_dict(),
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def __contains__(self, spec: JobSpec) -> bool:
+        return self.path_for(spec).is_file()
+
+    def __len__(self) -> int:
+        """Number of entries stored for the current version."""
+        if not self.version_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.version_dir.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry for the current version; returns the count."""
+        removed = 0
+        if self.version_dir.is_dir():
+            for entry in self.version_dir.glob("*/*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
+
+    def _evict_corrupt(self, path: Path) -> None:
+        self.corrupt += 1
+        self.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None

@@ -1,0 +1,255 @@
+"""Grid sweeps: apps × policies × seeds × thread-counts over an engine.
+
+The paper's evaluation (and related work such as Com-CAS and LFOC) is a
+large sweep over workload/policy/configuration combinations — exactly the
+embarrassingly parallel shape the execution layer exists for.  A sweep
+
+1. expands the grid into :class:`~repro.exec.jobs.JobSpec`s,
+2. resolves what it can from a :class:`~repro.exec.store.ResultStore`,
+3. fans the misses out over an :class:`~repro.exec.engine.ExecutionEngine`
+   (persisting fresh results back to the store), and
+4. aggregates per-policy speedups over a baseline policy across the grid.
+
+Failures never abort a sweep: failed cells are reported and excluded from
+the aggregates.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.exec.engine import ExecutionEngine, SerialEngine
+from repro.exec.jobs import JobOutcome, JobSpec
+from repro.exec.store import ResultStore
+from repro.sim.config import SystemConfig
+
+__all__ = ["SweepCell", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point's summary (full RunResults stay in the store)."""
+
+    app: str
+    policy: str
+    seed: int
+    n_threads: int
+    total_cycles: float | None
+    source: str  # "store" | "run"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one grid sweep, with ``format()``/``to_dict()`` like every
+    experiment runner."""
+
+    apps: list[str]
+    policies: list[str]
+    seeds: list[int]
+    thread_counts: list[int]
+    baseline: str
+    cells: list[SweepCell]
+    engine: str
+    wall_s: float
+    simulated: int
+    store_hits: int
+    store_stats: dict | None = None
+    failures: list[SweepCell] = field(default_factory=list)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.cells)
+
+    def _cycles(self, app: str, policy: str, seed: int, n_threads: int) -> float | None:
+        for cell in self.cells:
+            if (cell.app, cell.policy, cell.seed, cell.n_threads) == (
+                app, policy, seed, n_threads,
+            ):
+                return cell.total_cycles if cell.ok else None
+        return None
+
+    def speedups(self, app: str, policy: str) -> list[float]:
+        """Speedups of ``policy`` over the baseline for ``app``, one per
+        (seed, thread-count) grid point where both runs succeeded."""
+        out = []
+        for seed in self.seeds:
+            for n_threads in self.thread_counts:
+                cyc = self._cycles(app, policy, seed, n_threads)
+                base = self._cycles(app, self.baseline, seed, n_threads)
+                if cyc and base:
+                    out.append(base / cyc - 1.0)
+        return out
+
+    def mean_speedup(self, app: str, policy: str) -> float | None:
+        ss = self.speedups(app, policy)
+        return sum(ss) / len(ss) if ss else None
+
+    def policy_mean_speedup(self, policy: str) -> float | None:
+        """Grand mean over every app's per-grid-point speedups."""
+        ss = [s for app in self.apps for s in self.speedups(app, policy)]
+        return sum(ss) / len(ss) if ss else None
+
+    def format(self) -> str:
+        from repro.experiments.reporting import format_table
+
+        others = [p for p in self.policies if p != self.baseline]
+        rows: list[list[object]] = []
+        for app in self.apps:
+            row: list[object] = [app]
+            for policy in others:
+                mean = self.mean_speedup(app, policy)
+                row.append("n/a" if mean is None else f"{mean:+.1%}")
+            rows.append(row)
+        mean_row: list[object] = ["(mean)"]
+        for policy in others:
+            mean = self.policy_mean_speedup(policy)
+            mean_row.append("n/a" if mean is None else f"{mean:+.1%}")
+        rows.append(mean_row)
+        table = format_table(
+            ["app"] + [f"{p} vs {self.baseline}" for p in others],
+            rows,
+            title=(
+                f"sweep: {len(self.apps)} apps x {len(self.policies)} policies x "
+                f"{len(self.seeds)} seeds x {len(self.thread_counts)} thread-counts"
+            ),
+        )
+        summary = (
+            f"{self.n_jobs} jobs on {self.engine}: {self.simulated} simulated, "
+            f"{self.store_hits} store hits, {len(self.failures)} failed, "
+            f"{self.wall_s:.2f}s wall"
+        )
+        if self.failures:
+            failed = ", ".join(
+                f"{c.app}/{c.policy}@s{c.seed}t{c.n_threads}" for c in self.failures
+            )
+            summary += f"\nfailed cells: {failed}"
+        return f"{table}\n{summary}"
+
+    def to_dict(self) -> dict:
+        return {
+            "apps": self.apps,
+            "policies": self.policies,
+            "seeds": self.seeds,
+            "thread_counts": self.thread_counts,
+            "baseline": self.baseline,
+            "engine": self.engine,
+            "wall_s": self.wall_s,
+            "simulated": self.simulated,
+            "store_hits": self.store_hits,
+            "store_stats": self.store_stats,
+            "n_failures": len(self.failures),
+            "cells": [
+                {
+                    "app": c.app,
+                    "policy": c.policy,
+                    "seed": c.seed,
+                    "n_threads": c.n_threads,
+                    "total_cycles": c.total_cycles,
+                    "source": c.source,
+                    "error": c.error,
+                }
+                for c in self.cells
+            ],
+            "mean_speedups": {
+                policy: {
+                    app: self.mean_speedup(app, policy)
+                    for app in self.apps
+                }
+                for policy in self.policies
+                if policy != self.baseline
+            },
+        }
+
+
+def run_sweep(
+    apps: Sequence[str],
+    policies: Sequence[str],
+    *,
+    seeds: Sequence[int] = (1,),
+    thread_counts: Sequence[int] = (4,),
+    config: SystemConfig | None = None,
+    engine: ExecutionEngine | None = None,
+    store: ResultStore | None = None,
+    baseline: str | None = None,
+) -> SweepResult:
+    """Run the full grid and aggregate speedups over ``baseline``.
+
+    ``config`` supplies every parameter the grid does not vary; the grid
+    overrides its ``seed`` and ``n_threads``.  ``baseline`` defaults to
+    ``"shared"`` when present, else the first policy.
+    """
+    if not apps or not policies:
+        raise ValueError("sweep needs at least one app and one policy")
+    config = config or SystemConfig.default()
+    engine = engine or SerialEngine()
+    if baseline is None:
+        baseline = "shared" if "shared" in policies else policies[0]
+    if baseline not in policies:
+        raise ValueError(f"baseline {baseline!r} is not one of the swept policies")
+
+    grid: list[JobSpec] = [
+        JobSpec(app, policy, config.with_(seed=seed, n_threads=n_threads))
+        for app in apps
+        for policy in policies
+        for seed in seeds
+        for n_threads in thread_counts
+    ]
+
+    start = time.perf_counter()
+    resolved: dict[JobSpec, SweepCell] = {}
+    pending: list[JobSpec] = []
+    for spec in grid:
+        cached = store.get(spec) if store is not None else None
+        if cached is not None:
+            resolved[spec] = _cell(spec, total_cycles=cached.total_cycles, source="store")
+        else:
+            pending.append(spec)
+
+    outcomes: list[JobOutcome] = engine.run(pending) if pending else []
+    for spec, outcome in zip(pending, outcomes, strict=True):
+        if outcome.ok:
+            if store is not None:
+                store.put(spec, outcome.result)
+            resolved[spec] = _cell(
+                spec, total_cycles=outcome.result.total_cycles, source="run"
+            )
+        else:
+            resolved[spec] = _cell(spec, total_cycles=None, source="run", error=outcome.error)
+    wall_s = time.perf_counter() - start
+
+    cells = [resolved[spec] for spec in grid]
+    return SweepResult(
+        apps=list(apps),
+        policies=list(policies),
+        seeds=list(seeds),
+        thread_counts=list(thread_counts),
+        baseline=baseline,
+        cells=cells,
+        engine=engine.name,
+        wall_s=wall_s,
+        simulated=sum(1 for c in cells if c.source == "run" and c.ok),
+        store_hits=sum(1 for c in cells if c.source == "store"),
+        store_stats=store.stats() if store is not None else None,
+        failures=[c for c in cells if not c.ok],
+    )
+
+
+def _cell(
+    spec: JobSpec, *, total_cycles: float | None, source: str, error: str | None = None
+) -> SweepCell:
+    return SweepCell(
+        app=spec.app,
+        policy=spec.policy,
+        seed=spec.config.seed,
+        n_threads=spec.config.n_threads,
+        total_cycles=total_cycles,
+        source=source,
+        error=error,
+    )

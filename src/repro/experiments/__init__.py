@@ -34,7 +34,14 @@ from repro.experiments.motivation import (
     fig7_swim_miss_phases,
 )
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
-from repro.experiments.runner import clear_result_cache, get_result
+from repro.experiments.runner import (
+    clear_result_cache,
+    configure,
+    execution_stats,
+    get_result,
+    get_results,
+    reset_execution_stats,
+)
 from repro.experiments.sensitivity import cpi_vs_ways_curve, fig10_way_sensitivity
 from repro.experiments.snapshot import fig18_partition_snapshot
 
@@ -45,7 +52,11 @@ __all__ = [
     "ablation_interval_length",
     "ablation_termination_rule",
     "clear_result_cache",
+    "configure",
     "cpi_vs_ways_curve",
+    "execution_stats",
+    "get_results",
+    "reset_execution_stats",
     "fig10_way_sensitivity",
     "fig15_runtime_models",
     "fig18_partition_snapshot",

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.experiments.reporting import format_bar_chart, format_table
-from repro.experiments.runner import get_result
+from repro.experiments.runner import get_results
 from repro.sim.config import SystemConfig
 from repro.trace.workloads import list_workloads
 
@@ -77,11 +77,14 @@ def _compare(
     *,
     scheme: str = "model-based",
 ) -> ComparisonResult:
-    speedups = []
-    for app in apps:
-        dyn = get_result(app, scheme, config)
-        base = get_result(app, baseline, config)
-        speedups.append(dyn.speedup_over(base))
+    # One batched lookup so a pool engine can simulate the whole figure's
+    # working set in parallel.
+    results = get_results(
+        [(app, p) for app in apps for p in (scheme, baseline)], config
+    )
+    speedups = [
+        results[(app, scheme)].speedup_over(results[(app, baseline)]) for app in apps
+    ]
     return ComparisonResult(figure=figure, baseline=baseline, apps=apps, speedups=speedups)
 
 
@@ -180,12 +183,15 @@ def speedup_table(
     """One table with every baseline side by side (harness convenience)."""
     config = config or SystemConfig.default()
     apps = apps or list_workloads()
+    results = get_results(
+        [(app, p) for app in apps for p in (scheme, *baselines)], config
+    )
     rows = []
     for app in apps:
-        dyn = get_result(app, scheme, config)
+        dyn = results[(app, scheme)]
         row: list[object] = [app]
         for b in baselines:
-            row.append(f"{dyn.speedup_over(get_result(app, b, config)):+.1%}")
+            row.append(f"{dyn.speedup_over(results[(app, b)]):+.1%}")
         rows.append(row)
     return format_table(
         ["app"] + [f"vs {b}" for b in baselines],

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import get_result
+from repro.experiments.runner import get_result, get_results
 from repro.sim.config import SystemConfig
 from repro.trace.workloads import list_workloads
 
@@ -54,6 +54,7 @@ def fig8_interaction_fraction(
         headers=["app", "% of all accesses", "% of L2 accesses"],
     )
     fractions = []
+    get_results([(app, "shared") for app in apps], config)  # batch: parallel engines fan out here
     for app in apps:
         r = get_result(app, "shared", config)
         frac_all = r.inter_thread_share_of_all_accesses()
@@ -80,6 +81,7 @@ def fig9_interaction_breakdown(
         figure="Figure 9: breakdown of inter-thread interactions (shared cache)",
         headers=["app", "constructive %", "destructive %"],
     )
+    get_results([(app, "shared") for app in apps], config)
     for app in apps:
         r = get_result(app, "shared", config)
         cons = r.l2_totals.constructive_fraction()

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.runner import get_result
+from repro.experiments.runner import get_result, get_results
 from repro.mathx.stats import pearson_correlation
 from repro.sim.config import SystemConfig
 from repro.trace.workloads import list_workloads
@@ -76,6 +76,7 @@ def fig3_performance_variability(
         figure="Figure 3: normalized per-thread performance (shared cache)",
         headers=["app"] + [f"thread {t}" for t in range(config.n_threads)] + ["critical"],
     )
+    get_results([(app, "shared") for app in apps], config)  # batch: parallel engines fan out here
     for app in apps:
         r = get_result(app, "shared", config)
         # Performance of a thread = 1 / busy time; normalise to fastest.
@@ -100,6 +101,7 @@ def fig4_miss_variability(
         figure="Figure 4: normalized per-thread L2 misses (shared cache)",
         headers=["app"] + [f"thread {t}" for t in range(config.n_threads)],
     )
+    get_results([(app, "shared") for app in apps], config)
     for app in apps:
         r = get_result(app, "shared", config)
         misses = np.array(r.l2_totals.misses, dtype=float)
@@ -124,6 +126,7 @@ def fig5_cpi_miss_correlation(
         headers=["app", "critical-thread corr", "mean over threads"],
     )
     corrs = []
+    get_results([(app, "shared") for app in apps], config)
     for app in apps:
         r = get_result(app, "shared", config)
         per_thread = []

@@ -93,6 +93,41 @@ class SystemConfig:
         """Functional update (``dataclasses.replace`` spelled fluently)."""
         return replace(self, **kwargs)
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-serialisable form.
+
+        This is the configuration half of :class:`repro.exec.JobSpec`'s
+        content address, so it must enumerate **every** field that affects
+        a simulation — a field added to :class:`SystemConfig` without being
+        reflected here would alias distinct configurations in the result
+        store.  :meth:`from_dict` round-trips it.
+        """
+        return {
+            "n_threads": self.n_threads,
+            "l1_geometry": self.l1_geometry.to_dict(),
+            "l2_geometry": self.l2_geometry.to_dict(),
+            "timing": self.timing.to_dict(),
+            "interval_instructions": self.interval_instructions,
+            "n_intervals": self.n_intervals,
+            "sections_per_interval": self.sections_per_interval,
+            "min_ways": self.min_ways,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        return cls(
+            n_threads=data["n_threads"],
+            l1_geometry=CacheGeometry.from_dict(data["l1_geometry"]),
+            l2_geometry=CacheGeometry.from_dict(data["l2_geometry"]),
+            timing=TimingModel.from_dict(data["timing"]),
+            interval_instructions=data["interval_instructions"],
+            n_intervals=data["n_intervals"],
+            sections_per_interval=data["sections_per_interval"],
+            min_ways=data["min_ways"],
+            seed=data["seed"],
+        )
+
     def describe(self) -> dict[str, str]:
         """Human-readable configuration table (the paper's Figure 2)."""
         return {

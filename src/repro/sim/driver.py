@@ -26,16 +26,12 @@ _PROGRAM_CACHE: dict[tuple, CompiledProgram] = {}
 
 
 def _cache_key(profile: WorkloadProfile, config: SystemConfig) -> tuple:
-    return (
-        profile.name,
-        config.n_threads,
-        config.n_intervals,
-        config.interval_instructions,
-        config.sections_per_interval,
-        config.seed,
-        config.l1_geometry,
-        config.timing,
-    )
+    # Key on the frozen config itself rather than a hand-picked tuple of
+    # fields: a tuple silently drifts (stale hits) whenever SystemConfig
+    # grows a field.  The L2 geometry and min_ways do not affect the
+    # compiled program, so configs differing only there recompile — a small
+    # cost next to the correctness risk of under-keying.
+    return (profile.name, config)
 
 
 def prepare_program(app: str | WorkloadProfile, config: SystemConfig) -> CompiledProgram:

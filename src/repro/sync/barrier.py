@@ -52,6 +52,35 @@ class BarrierLog:
         self.n_threads = n_threads
         self.events: list[BarrierEvent] = []
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BarrierLog):
+            return NotImplemented
+        return self.n_threads == other.n_threads and self.events == other.events
+
+    def __repr__(self) -> str:
+        return f"BarrierLog(n_threads={self.n_threads}, events={len(self.events)})"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; :meth:`from_dict` round-trips it."""
+        return {
+            "n_threads": self.n_threads,
+            "events": [
+                {"section_index": ev.section_index, "arrivals": list(ev.arrivals)}
+                for ev in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BarrierLog":
+        log = cls(data["n_threads"])
+        for ev in data["events"]:
+            log.events.append(
+                BarrierEvent(
+                    section_index=ev["section_index"], arrivals=tuple(ev["arrivals"])
+                )
+            )
+        return log
+
     def record(self, section_index: int, arrivals: list[float]) -> BarrierEvent:
         if len(arrivals) != self.n_threads:
             raise ValueError(f"expected {self.n_threads} arrivals, got {len(arrivals)}")

@@ -5,6 +5,19 @@ import json
 import pytest
 
 from repro.__main__ import build_parser, main
+from repro.experiments import runner as runner_mod
+
+
+@pytest.fixture(autouse=True)
+def _reset_execution_layer():
+    """main() installs engines/stores globally and results memoise across
+    tests; isolate each test so counter assertions are deterministic."""
+    runner_mod.clear_result_cache()
+    runner_mod.reset_execution_stats()
+    yield
+    runner_mod.configure(engine=None, store=None)
+    runner_mod.clear_result_cache()
+    runner_mod.reset_execution_stats()
 
 
 class TestParser:
@@ -69,3 +82,118 @@ class TestCommands:
         assert main(["figure", "fig2", "--json", *QUICK]) == 0
         data = json.loads(capsys.readouterr().out)
         assert data["figure"].startswith("Figure 2")
+
+    def test_run_unknown_app_exits_2(self, capsys):
+        assert main(["run", "not-an-app", *QUICK]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+        assert "swim" in err  # the message lists the known workloads
+
+
+class TestExecutionFlags:
+    def test_compare_jobs_output_identical_to_serial(self, capsys):
+        argv = ["compare", "ft", "cg", *QUICK]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        runner_mod.clear_result_cache()
+        assert main([*argv, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_verbose_reports_counters(self, capsys):
+        assert main(["compare", "ft", *QUICK, "-v"]) == 0
+        err = capsys.readouterr().err
+        assert "engine=serial" in err
+        assert "simulated=4" in err
+
+    def test_cache_dir_warm_run_simulates_nothing(self, tmp_path, capsys):
+        argv = ["compare", "ft", *QUICK, "--cache-dir", str(tmp_path), "-v"]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "simulated=4" in cold.err
+        assert "store-writes=4" in cold.err
+
+        runner_mod.clear_result_cache()  # fresh process simulation
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "simulated=0" in warm.err
+        assert "store-hits=4" in warm.err
+        assert warm.out == cold.out, "warm store must reproduce tables exactly"
+
+    def test_run_uses_cache_dir(self, tmp_path, capsys):
+        argv = ["run", "ft", "--policy", "shared", *QUICK, "--cache-dir", str(tmp_path), "-v"]
+        assert main(argv) == 0
+        assert "simulated=1" in capsys.readouterr().err
+        runner_mod.clear_result_cache()
+        assert main(argv) == 0
+        assert "store-hits=1" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_table(self, capsys):
+        assert main([
+            "sweep", "--apps", "ft", "cg", "--policies", "shared", "model-based",
+            "--intervals", "6", "--interval-instructions", "3000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 apps x 2 policies" in out
+        assert "model-based vs shared" in out
+        assert "4 jobs on serial" in out
+
+    def test_sweep_json_with_grid_axes(self, capsys):
+        assert main([
+            "sweep", "--apps", "ft", "--policies", "shared", "static-equal",
+            "--seeds", "1", "2", "--intervals", "5", "--interval-instructions", "2000",
+            "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["seeds"] == [1, 2]
+        assert len(data["cells"]) == 4
+        assert data["n_failures"] == 0
+
+    def test_sweep_with_jobs_and_store(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--apps", "ft", "--policies", "shared", "model-based",
+            "--intervals", "5", "--interval-instructions", "2000",
+            "--jobs", "2", "--cache-dir", str(tmp_path), "-v",
+        ]
+        assert main(argv) == 0
+        assert "simulated=2" in capsys.readouterr().err
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "simulated=0" in err
+        assert "store-hits=2" in err
+
+    def test_sweep_rejects_unknown_app_and_baseline(self, capsys):
+        assert main(["sweep", "--apps", "nope"]) == 2
+        assert "unknown workloads" in capsys.readouterr().err
+        assert main([
+            "sweep", "--apps", "ft", "--policies", "shared", "--baseline", "model-based",
+        ]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestRunnerLayer:
+    def test_get_results_batches_and_memoises(self, quick_config):
+        from repro.experiments.runner import execution_stats, get_results, reset_execution_stats
+
+        runner_mod.clear_result_cache()
+        reset_execution_stats()
+        pairs = [("ft", "shared"), ("ft", "model-based")]
+        first = get_results(pairs, quick_config)
+        assert set(first) == set(pairs)
+        stats = execution_stats()
+        assert stats["simulated"] == 2
+        second = get_results(pairs, quick_config)
+        assert second == first
+        assert execution_stats()["memo_hits"] == 2
+
+    def test_failed_job_raises_runtime_error(self, quick_config):
+        from repro.exec.engine import SerialEngine
+
+        def boom(spec):
+            raise ValueError("injected failure")
+
+        runner_mod.clear_result_cache()
+        runner_mod.configure(engine=SerialEngine(max_retries=0, backoff_s=0.0, job_runner=boom))
+        with pytest.raises(RuntimeError, match="injected failure"):
+            runner_mod.get_result("ft", "shared", quick_config.with_(seed=31337))

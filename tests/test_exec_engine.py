@@ -1,0 +1,196 @@
+"""Tests for the execution engines: equivalence, retries, timeouts,
+degradation.
+
+The injected job runners must be module-level functions so the pool engine
+can pickle them into worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.cache.stats import StatsSnapshot
+from repro.core.records import RunResult
+from repro.exec.engine import SerialEngine, execute_job
+from repro.exec.jobs import JobSpec
+from repro.exec.pool import ProcessPoolEngine
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_application
+
+
+def _dummy_result(spec: JobSpec) -> RunResult:
+    zeros = (0,)
+    snap = StatsSnapshot(zeros, zeros, zeros, zeros, zeros, zeros, zeros)
+    return RunResult(
+        app=spec.app,
+        policy=spec.policy,
+        n_threads=1,
+        total_cycles=1.0,
+        thread_instructions=(1,),
+        thread_busy_cycles=(1.0,),
+        thread_stall_cycles=(0.0,),
+        l2_totals=snap,
+    )
+
+
+def _echo_runner(spec: JobSpec) -> RunResult:
+    return _dummy_result(spec)
+
+
+def _fail_on_art(spec: JobSpec) -> RunResult:
+    if spec.app == "art":
+        raise ValueError("art always fails")
+    return _dummy_result(spec)
+
+
+def _sleepy_runner(spec: JobSpec) -> RunResult:
+    time.sleep(2.0)
+    return _dummy_result(spec)
+
+
+def _die_in_worker(spec: JobSpec) -> RunResult:
+    # Kills pool workers outright (simulating OOM/native crash) but runs
+    # fine in the parent process, so degradation to serial can succeed.
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return _dummy_result(spec)
+
+
+class _FlakyRunner:
+    """Fails the first ``n_failures`` calls, then succeeds (serial only)."""
+
+    def __init__(self, n_failures: int) -> None:
+        self.n_failures = n_failures
+        self.calls = 0
+
+    def __call__(self, spec: JobSpec) -> RunResult:
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise RuntimeError(f"flaky failure {self.calls}")
+        return _dummy_result(spec)
+
+
+def specs_for(config, pairs):
+    return [JobSpec(app, policy, config) for app, policy in pairs]
+
+
+class TestSerialEngine:
+    def test_runs_real_simulation(self, tiny_config):
+        outcome = SerialEngine().run_one(JobSpec("ft", "shared", tiny_config))
+        assert outcome.ok
+        assert outcome.attempts == 1
+        assert outcome.engine == "serial"
+        assert outcome.duration_s > 0
+        assert outcome.result == run_application("ft", "shared", tiny_config)
+
+    def test_outcomes_preserve_order(self, tiny_config):
+        jobs = specs_for(tiny_config, [("cg", "shared"), ("ft", "shared"), ("swim", "shared")])
+        outcomes = SerialEngine(job_runner=_echo_runner).run(jobs)
+        assert [o.spec.app for o in outcomes] == ["cg", "ft", "swim"]
+        assert all(o.ok for o in outcomes)
+
+    def test_retry_until_success(self, tiny_config):
+        runner = _FlakyRunner(n_failures=2)
+        engine = SerialEngine(max_retries=2, backoff_s=0.0, job_runner=runner)
+        outcome = engine.run_one(JobSpec("ft", "shared", tiny_config))
+        assert outcome.ok
+        assert outcome.attempts == 3
+        assert runner.calls == 3
+
+    def test_retries_are_bounded(self, tiny_config):
+        runner = _FlakyRunner(n_failures=100)
+        engine = SerialEngine(max_retries=1, backoff_s=0.0, job_runner=runner)
+        outcome = engine.run_one(JobSpec("ft", "shared", tiny_config))
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert "flaky failure" in outcome.error
+        assert runner.calls == 2
+
+    def test_one_failure_does_not_poison_the_batch(self, tiny_config):
+        jobs = specs_for(tiny_config, [("ft", "shared"), ("art", "shared"), ("cg", "shared")])
+        outcomes = SerialEngine(max_retries=0, backoff_s=0.0, job_runner=_fail_on_art).run(jobs)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "art always fails" in outcomes[1].error
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SerialEngine(max_retries=-1)
+        with pytest.raises(ValueError):
+            SerialEngine(backoff_s=-0.5)
+
+
+class TestProcessPoolEngine:
+    def test_matches_serial_exactly(self, tiny_config):
+        jobs = specs_for(
+            tiny_config,
+            [("ft", "shared"), ("ft", "model-based"), ("cg", "shared"), ("cg", "static-equal")],
+        )
+        serial = SerialEngine().run(jobs)
+        pool = ProcessPoolEngine(2, chunk_size=2).run(jobs)
+        assert all(o.ok for o in pool)
+        for s, p in zip(serial, pool, strict=True):
+            assert s.result == p.result, f"{s.spec.label}: pool and serial results differ"
+
+    def test_single_job_short_circuits_to_serial(self, tiny_config):
+        engine = ProcessPoolEngine(4, job_runner=_echo_runner)
+        outcome = engine.run_one(JobSpec("ft", "shared", tiny_config))
+        assert outcome.ok
+        assert outcome.engine == "process-pool"
+
+    def test_jobs_leq_one_runs_in_process(self, tiny_config):
+        engine = ProcessPoolEngine(1, job_runner=_echo_runner)
+        outcomes = engine.run(specs_for(tiny_config, [("ft", "shared"), ("cg", "shared")]))
+        assert all(o.ok for o in outcomes)
+
+    def test_failing_job_reports_error_others_succeed(self, tiny_config):
+        engine = ProcessPoolEngine(2, max_retries=1, backoff_s=0.0, job_runner=_fail_on_art)
+        jobs = specs_for(tiny_config, [("ft", "shared"), ("art", "shared"), ("cg", "shared")])
+        outcomes = engine.run(jobs)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].attempts == 2
+        assert "art always fails" in outcomes[1].error
+
+    def test_per_job_timeout(self, tiny_config):
+        engine = ProcessPoolEngine(
+            2, timeout_s=0.2, max_retries=0, backoff_s=0.0, job_runner=_sleepy_runner
+        )
+        jobs = specs_for(tiny_config, [("ft", "shared"), ("cg", "shared")])
+        outcomes = engine.run(jobs)
+        assert all(not o.ok for o in outcomes)
+        assert any("timed out" in o.error for o in outcomes)
+
+    def test_dead_worker_degrades_to_serial(self, tiny_config):
+        engine = ProcessPoolEngine(2, max_retries=1, backoff_s=0.0, job_runner=_die_in_worker)
+        jobs = specs_for(tiny_config, [("ft", "shared"), ("cg", "shared"), ("swim", "shared")])
+        outcomes = engine.run(jobs)
+        assert all(o.ok for o in outcomes), [o.error for o in outcomes]
+        assert any(o.engine == "process-pool→serial" for o in outcomes)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolEngine(0)
+        with pytest.raises(ValueError):
+            ProcessPoolEngine(2, chunk_size=0)
+        with pytest.raises(ValueError):
+            ProcessPoolEngine(2, timeout_s=0)
+
+
+class TestExecuteJob:
+    def test_default_runner_simulates(self, tiny_config):
+        result = execute_job(JobSpec("ft", "shared", tiny_config))
+        assert result == run_application("ft", "shared", tiny_config)
+
+
+class TestEngineStoreIntegration:
+    def test_pool_results_roundtrip_through_store(self, tmp_path, tiny_config):
+        from repro.exec.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        spec = JobSpec("ft", "model-based", tiny_config)
+        outcome = ProcessPoolEngine(2, job_runner=_echo_runner).run_one(spec)
+        store.put(spec, outcome.result)
+        assert store.get(spec) == outcome.result

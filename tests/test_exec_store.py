@@ -1,0 +1,125 @@
+"""Tests for repro.exec: job specs and the content-addressed result store."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.exec.jobs import JobSpec
+from repro.exec.store import ResultStore
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_application
+
+
+def spec_for(config, app="ft", policy="shared"):
+    return JobSpec(app, policy, config)
+
+
+class TestJobSpec:
+    def test_digest_is_stable_and_content_addressed(self, tiny_config):
+        a = spec_for(tiny_config)
+        b = spec_for(tiny_config)
+        assert a.digest == b.digest
+        assert len(a.digest) == 64
+
+    def test_digest_changes_with_any_component(self, tiny_config):
+        base = spec_for(tiny_config)
+        assert spec_for(tiny_config, app="cg").digest != base.digest
+        assert spec_for(tiny_config, policy="model-based").digest != base.digest
+        assert spec_for(tiny_config.with_(seed=7)).digest != base.digest
+        assert spec_for(tiny_config.with_(min_ways=0)).digest != base.digest
+
+    def test_canonical_json_is_deterministic(self, tiny_config):
+        s = spec_for(tiny_config)
+        assert s.canonical_json() == s.canonical_json()
+        # sorted keys: a re-parse + re-dump must be identity
+        parsed = json.loads(s.canonical_json())
+        assert json.dumps(parsed, sort_keys=True, separators=(",", ":")) == s.canonical_json()
+
+    def test_config_to_dict_covers_every_field(self):
+        """The store key must enumerate every SystemConfig field — a new
+        field that is not serialised would alias distinct configs."""
+        d = SystemConfig.default().to_dict()
+        assert set(d) == {f.name for f in dataclasses.fields(SystemConfig)}
+
+
+class TestResultStore:
+    def test_miss_then_hit_roundtrip(self, tmp_path, tiny_config):
+        store = ResultStore(tmp_path)
+        spec = spec_for(tiny_config)
+        assert store.get(spec) is None
+        assert store.stats() == {"hits": 0, "misses": 1, "writes": 0, "corrupt": 0}
+
+        result = run_application(spec.app, spec.policy, spec.config)
+        path = store.put(spec, result)
+        assert path.is_file()
+        assert spec in store
+        assert len(store) == 1
+
+        loaded = store.get(spec)
+        assert loaded == result
+        assert store.stats() == {"hits": 1, "misses": 1, "writes": 1, "corrupt": 0}
+
+    def test_corrupt_entry_recovers_as_miss(self, tmp_path, tiny_config):
+        store = ResultStore(tmp_path)
+        spec = spec_for(tiny_config)
+        result = run_application(spec.app, spec.policy, spec.config)
+        path = store.put(spec, result)
+
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.get(spec) is None
+        assert not path.exists(), "corrupt entry must be evicted"
+        assert store.corrupt == 1
+
+        # the next put/get cycle works again
+        store.put(spec, result)
+        assert store.get(spec) == result
+
+    def test_mis_keyed_entry_is_corruption(self, tmp_path, tiny_config):
+        store = ResultStore(tmp_path)
+        spec = spec_for(tiny_config)
+        other = spec_for(tiny_config, app="cg")
+        result = run_application(spec.app, spec.policy, spec.config)
+        # file a result under the wrong digest (simulates tampering/collision)
+        payload_path = store.path_for(other)
+        payload_path.parent.mkdir(parents=True, exist_ok=True)
+        store.put(spec, result)
+        payload_path.write_bytes(store.path_for(spec).read_bytes())
+        assert store.get(other) is None
+        assert store.corrupt == 1
+
+    def test_version_namespaces_are_disjoint(self, tmp_path, tiny_config):
+        spec = spec_for(tiny_config)
+        result = run_application(spec.app, spec.policy, spec.config)
+        old = ResultStore(tmp_path, version="0.9.0")
+        old.put(spec, result)
+
+        new = ResultStore(tmp_path, version="1.0.0")
+        assert new.get(spec) is None, "a version bump must invalidate the store"
+        assert len(new) == 0
+        assert len(old) == 1
+
+    def test_clear_removes_current_version_only(self, tmp_path, tiny_config):
+        spec = spec_for(tiny_config)
+        result = run_application(spec.app, spec.policy, spec.config)
+        old = ResultStore(tmp_path, version="0.9.0")
+        old.put(spec, result)
+        new = ResultStore(tmp_path, version="1.0.0")
+        new.put(spec, result)
+        assert new.clear() == 1
+        assert len(new) == 0
+        assert len(old) == 1
+
+    def test_default_version_tracks_package(self, tmp_path):
+        import repro
+
+        store = ResultStore(tmp_path)
+        assert store.version == repro.__version__
+        assert store.version_dir.name == f"v{repro.__version__}"
+
+    def test_no_stray_tmp_files_after_put(self, tmp_path, tiny_config):
+        store = ResultStore(tmp_path)
+        spec = spec_for(tiny_config)
+        store.put(spec, run_application(spec.app, spec.policy, spec.config))
+        stray = [p for p in tmp_path.rglob("*") if p.is_file() and p.suffix != ".json"]
+        assert stray == []

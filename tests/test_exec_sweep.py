@@ -1,0 +1,89 @@
+"""Tests for repro.exec.sweep: grid expansion, store reuse, aggregation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec.engine import SerialEngine
+from repro.exec.store import ResultStore
+from repro.exec.sweep import run_sweep
+from repro.sim.driver import run_application
+
+
+@pytest.fixture
+def sweep_config(tiny_config):
+    return tiny_config
+
+
+class TestRunSweep:
+    def test_grid_shape_and_aggregates(self, sweep_config):
+        result = run_sweep(
+            ["ft", "cg"],
+            ["shared", "model-based"],
+            seeds=[1, 2],
+            config=sweep_config,
+        )
+        assert result.n_jobs == 2 * 2 * 2
+        assert result.baseline == "shared"
+        assert result.simulated == 8
+        assert result.store_hits == 0
+        assert not result.failures
+        # speedup agrees with a direct A/B on the same config
+        dyn = run_application("ft", "model-based", sweep_config.with_(seed=1))
+        base = run_application("ft", "shared", sweep_config.with_(seed=1))
+        expected = base.total_cycles / dyn.total_cycles - 1.0
+        assert result.speedups("ft", "model-based")[0] == pytest.approx(expected)
+        assert result.mean_speedup("ft", "model-based") is not None
+        assert result.policy_mean_speedup("model-based") is not None
+
+    def test_store_warm_start_simulates_nothing(self, tmp_path, sweep_config):
+        store = ResultStore(tmp_path)
+        kwargs = dict(seeds=[1], config=sweep_config, store=store)
+        cold = run_sweep(["ft"], ["shared", "model-based"], **kwargs)
+        assert cold.simulated == 2
+        warm = run_sweep(["ft"], ["shared", "model-based"], **kwargs)
+        assert warm.simulated == 0
+        assert warm.store_hits == 2
+        # identical aggregates either way
+        assert warm.mean_speedup("ft", "model-based") == pytest.approx(
+            cold.mean_speedup("ft", "model-based")
+        )
+
+    def test_failed_cells_are_reported_not_raised(self, sweep_config):
+        def boom(spec):
+            raise RuntimeError("injected")
+
+        engine = SerialEngine(max_retries=0, backoff_s=0.0, job_runner=boom)
+        result = run_sweep(["ft"], ["shared"], config=sweep_config, engine=engine)
+        assert len(result.failures) == 1
+        assert result.simulated == 0
+        assert "injected" in result.failures[0].error
+        assert "failed cells" in result.format()
+
+    def test_baseline_validation(self, sweep_config):
+        with pytest.raises(ValueError):
+            run_sweep(["ft"], ["shared"], config=sweep_config, baseline="model-based")
+        with pytest.raises(ValueError):
+            run_sweep([], ["shared"], config=sweep_config)
+
+    def test_format_and_to_dict(self, sweep_config):
+        result = run_sweep(["ft"], ["shared", "static-equal"], config=sweep_config)
+        text = result.format()
+        assert "sweep:" in text
+        assert "static-equal vs shared" in text
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["baseline"] == "shared"
+        assert payload["n_failures"] == 0
+        assert len(payload["cells"]) == 2
+        assert "static-equal" in payload["mean_speedups"]
+
+    def test_thread_count_axis(self, sweep_config):
+        result = run_sweep(
+            ["ft"],
+            ["shared"],
+            thread_counts=[2, 4],
+            config=sweep_config,
+        )
+        assert sorted(c.n_threads for c in result.cells) == [2, 4]

@@ -1,0 +1,93 @@
+"""Round-trip tests: to_dict/from_dict must be lossless for every record
+the result store persists."""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.stats import StatsSnapshot
+from repro.core.records import RunResult
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_application
+from repro.sync.barrier import BarrierLog
+
+
+def through_json(data: dict) -> dict:
+    """Serialise + parse, as the on-disk store does."""
+    return json.loads(json.dumps(data))
+
+
+class TestRunResultRoundtrip:
+    def test_quick_config_run_roundtrips_losslessly(self, quick_config):
+        r = run_application("swim", "model-based", quick_config)
+        assert r.intervals, "need a run with interval records"
+        assert r.barriers is not None and r.barriers.events
+        restored = RunResult.from_dict(through_json(r.to_dict()))
+        assert restored == r
+
+    def test_roundtrip_preserves_derived_metrics(self, tiny_config):
+        r = run_application("cg", "shared", tiny_config)
+        restored = RunResult.from_dict(through_json(r.to_dict()))
+        assert restored.performance == r.performance
+        assert restored.l1_hit_rate() == r.l1_hit_rate()
+        assert restored.inter_thread_share_of_all_accesses() == (
+            r.inter_thread_share_of_all_accesses()
+        )
+        assert restored.cpi_series(0) == r.cpi_series(0)
+        assert restored.miss_series(0) == r.miss_series(0)
+        assert restored.targets_series() == r.targets_series()
+        assert restored.barriers.critical_thread_histogram() == (
+            r.barriers.critical_thread_histogram()
+        )
+
+    def test_roundtrip_without_barriers(self, quick_config):
+        r = run_application("ft", "shared", quick_config)
+        r.barriers = None
+        assert RunResult.from_dict(through_json(r.to_dict())) == r
+
+
+counts = st.tuples(*[st.integers(min_value=0, max_value=10**9)] * 2)
+
+
+@given(
+    accesses=counts, hits=counts, misses=counts, evictions=counts,
+    inter_hits=counts, inter_evictions=counts, intra_hits=counts,
+)
+@settings(max_examples=50, deadline=None)
+def test_snapshot_roundtrip_property(
+    accesses, hits, misses, evictions, inter_hits, inter_evictions, intra_hits
+):
+    snap = StatsSnapshot(
+        accesses=accesses, hits=hits, misses=misses, evictions=evictions,
+        inter_thread_hits=inter_hits, inter_thread_evictions=inter_evictions,
+        intra_thread_hits=intra_hits,
+    )
+    assert StatsSnapshot.from_dict(through_json(snap.to_dict())) == snap
+
+
+@given(
+    arrivals=st.lists(
+        st.tuples(*[st.floats(min_value=0, max_value=1e12, allow_nan=False)] * 3),
+        min_size=0, max_size=10,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_barrier_log_roundtrip_property(arrivals):
+    log = BarrierLog(3)
+    for i, arr in enumerate(arrivals):
+        log.record(i, list(arr))
+    assert BarrierLog.from_dict(through_json(log.to_dict())) == log
+
+
+class TestConfigRoundtrip:
+    def test_default_and_variants(self):
+        for config in (
+            SystemConfig.default(),
+            SystemConfig.eight_core(),
+            SystemConfig.quick(),
+            SystemConfig.default().with_(seed=99, min_ways=0),
+        ):
+            assert SystemConfig.from_dict(through_json(config.to_dict())) == config
