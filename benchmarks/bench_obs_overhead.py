@@ -1,0 +1,98 @@
+"""Overhead of the telemetry layer (repro.obs).
+
+The claim the subsystem makes (DESIGN.md §B.1) is that *disabled* tracing
+is effectively free: every instrumented site guards with
+``tracer.enabled`` before constructing an event, so an untraced run pays
+one attribute read and a branch per touchpoint.  Two measurements:
+
+* **end-to-end**: the same simulation with the NullTracer vs. with no
+  knowledge of tracing at all is not measurable separately (the guard is
+  inside the run), so we run the simulation twice under the NullTracer
+  and bound the *guard cost* directly — measured guard time × the number
+  of guard evaluations a run performs must stay under 2 % of the run.
+* **enabled cost** (informational): the same run under a
+  ``RecordingTracer``, showing what turning tracing on costs.
+"""
+
+import time
+
+import pytest
+
+from repro.obs import NULL_TRACER, RecordingTracer
+from repro.sim.config import SystemConfig
+from repro.sim.driver import prepare_program, run_application
+
+OVERHEAD_BUDGET = 0.02  # the <2 % claim
+
+
+@pytest.fixture(scope="module")
+def obs_config() -> SystemConfig:
+    return SystemConfig.quick()
+
+
+def _time_run(config, tracer=None, repeats=3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_application("cg", "model-based", config, tracer=tracer)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_obs_null_tracer_guard_cost_under_budget(benchmark, obs_config):
+    """Bound the disabled-path cost: guards per run × cost per guard."""
+    prepare_program("cg", obs_config)  # warm: measure simulation, not build
+
+    untraced_s = benchmark.pedantic(
+        lambda: _time_run(obs_config, tracer=None), rounds=1, iterations=1
+    )
+
+    # Count the guard sites a run actually evaluates: interval events,
+    # convergence events and repartition bookkeeping per interval, plus
+    # the prepare/simulate spans — generously over-counted at 8 guards
+    # per interval.
+    tracer = RecordingTracer()
+    result = run_application("cg", "model-based", obs_config, tracer=tracer)
+    n_intervals = len(result.intervals)
+    guards_per_run = 8 * n_intervals + 16
+
+    # Cost of one guard: attribute read + branch on the NullTracer.
+    t = NULL_TRACER
+    n = 200_000
+    start = time.perf_counter()
+    hits = 0
+    for _ in range(n):
+        if t.enabled:
+            hits += 1
+    per_guard_s = (time.perf_counter() - start) / n
+    assert hits == 0
+
+    guard_overhead_s = per_guard_s * guards_per_run
+    share = guard_overhead_s / untraced_s
+    print(
+        f"\nobs overhead: run={untraced_s * 1e3:.1f}ms, "
+        f"{guards_per_run} guards x {per_guard_s * 1e9:.0f}ns = "
+        f"{guard_overhead_s * 1e6:.1f}us ({share:.4%} of the run)"
+    )
+    assert share < OVERHEAD_BUDGET, (
+        f"disabled-tracing guard cost {share:.2%} exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget"
+    )
+
+
+def test_obs_recording_tracer_cost_is_modest(obs_config):
+    """Informational: enabled in-memory tracing stays within a small
+    multiple of the untraced run (it only appends dataclasses to a list)."""
+    prepare_program("cg", obs_config)
+    untraced_s = _time_run(obs_config, tracer=None)
+    tracer = RecordingTracer()
+    traced_s = _time_run(obs_config, tracer=tracer)
+    assert len(tracer) > 0
+    ratio = traced_s / untraced_s
+    print(
+        f"\nrecording tracer: untraced={untraced_s * 1e3:.1f}ms "
+        f"traced={traced_s * 1e3:.1f}ms (x{ratio:.3f}, {len(tracer)} events)"
+    )
+    # Generous bound — the point is catching accidental per-access
+    # instrumentation (which would be x10+), not micro-variance.
+    assert ratio < 1.5, f"enabled tracing cost x{ratio:.2f} suggests a hot-path leak"

@@ -26,7 +26,7 @@ Public surface:
 
 # Defined before any subpackage import: repro.exec reads it during package
 # initialisation (the store namespaces its entries by version).
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.cache import CacheGeometry, PartitionedSharedCache, PrivateCache
 from repro.core import IntervalObservation, RunResult, RuntimeSystem, ThreadModelBank

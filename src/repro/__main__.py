@@ -6,16 +6,20 @@ run        simulate one application under one policy
 compare    run all policies on one or more applications
 figure     regenerate a paper figure/table by id (fig3, fig20, ...)
 sweep      fan a grid of apps x policies x seeds x thread-counts out
+report     summarize a telemetry trace written by ``--trace``
 list       list workloads, policies and experiments
 
 Every simulating command accepts ``--jobs N`` (simulate on N worker
 processes), ``--cache-dir DIR`` (persist results in a content-addressed
-on-disk store, reused by later invocations) and ``-v`` (print
-execution/cache counters to stderr).
+on-disk store, reused by later invocations), ``--trace PATH`` (write
+telemetry events to PATH; ``--trace-format chrome`` emits a Chrome
+``trace_event`` file loadable in Perfetto instead of JSONL) and ``-v``
+(print execution/cache counters to stderr).
 
 Examples
 --------
-    python -m repro run swim --policy model-based
+    python -m repro run swim --policy model-based --trace swim.jsonl
+    python -m repro report swim.jsonl
     python -m repro compare swim cg --intervals 30 --jobs 4
     python -m repro figure fig20 --cache-dir ~/.cache/repro
     python -m repro sweep --apps swim cg --seeds 1 2 3 --jobs 4 -v
@@ -37,11 +41,40 @@ from repro.experiments.runner import (
     get_result,
     reset_execution_stats,
 )
+from repro.obs import (
+    METRICS,
+    JsonlTracer,
+    MetricsEvent,
+    RecordingTracer,
+    read_events,
+    set_tracer,
+    summarize,
+    write_chrome_trace,
+)
 from repro.partition import POLICY_REGISTRY
 from repro.sim.config import SystemConfig
 from repro.trace.workloads import list_workloads
 
 __all__ = ["build_parser", "main"]
+
+# Short spellings accepted anywhere a policy name is: normalised by the
+# argparse ``type`` hook *before* the ``choices`` check runs.
+POLICY_ALIASES = {"model": "model-based", "cpi": "cpi-proportional", "equal": "static-equal"}
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for counts that must be >= 1 (exit 2 on violation)."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer value: {value!r}") from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
+def _policy_name(value: str) -> str:
+    return POLICY_ALIASES.get(value, value)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,12 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_exec_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
-            "--jobs", type=int, default=1,
-            help="worker processes for simulations (1 = serial, default)",
+            "--jobs", type=_positive_int, default=1, metavar="N",
+            help="worker processes for simulations (>= 1; 1 = serial, default)",
         )
         p.add_argument(
             "--cache-dir", default=None, metavar="DIR",
             help="persist simulation results in a content-addressed store at DIR",
+        )
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write telemetry events to PATH (summarize with `repro report`)",
+        )
+        p.add_argument(
+            "--trace-format", default="jsonl", choices=("jsonl", "chrome"),
+            help="trace file format: jsonl (default; `repro report` input) or "
+            "chrome (trace_event JSON for Perfetto / chrome://tracing)",
         )
         p.add_argument(
             "-v", "--verbose", action="store_true",
@@ -77,8 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="simulate one application under one policy")
     p_run.add_argument("app", help="workload name (see `repro list`)")
     p_run.add_argument(
-        "--policy", default="model-based", choices=sorted(POLICY_REGISTRY),
-        help="partitioning policy",
+        "--policy", default="model-based", type=_policy_name,
+        choices=sorted(POLICY_REGISTRY),
+        help="partitioning policy (aliases: %s)"
+        % ", ".join(f"{k}={v}" for k, v in sorted(POLICY_ALIASES.items())),
     )
     p_run.add_argument("--json", action="store_true", help="emit the full result as JSON")
     add_config_args(p_run)
@@ -104,7 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sw.add_argument(
         "--policies", nargs="+", default=None, metavar="POLICY",
-        choices=sorted(POLICY_REGISTRY),
+        type=_policy_name, choices=sorted(POLICY_REGISTRY),
         help="policies to sweep (default: shared, static-equal, throughput, model-based)",
     )
     p_sw.add_argument(
@@ -126,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="instructions per thread per interval",
     )
     add_exec_args(p_sw)
+
+    p_rep = sub.add_parser("report", help="summarize a JSONL trace written by --trace")
+    p_rep.add_argument("trace", help="path to a .jsonl trace file")
+    p_rep.add_argument(
+        "--top", type=_positive_int, default=5, metavar="N",
+        help="how many slowest jobs to list (default 5)",
+    )
 
     sub.add_parser("list", help="list workloads, policies and experiments")
     return parser
@@ -179,8 +230,35 @@ def main(argv: list[str] | None = None) -> int:
         print("experiments:" + " " + ", ".join(EXPERIMENTS))
         return 0
 
+    if args.command == "report":
+        try:
+            records = read_events(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
+        print(summarize(records, top=args.top))
+        return 0
+
     _setup_execution(args)
 
+    if not args.trace:
+        return _dispatch(args)
+
+    # Chrome traces need the full event list to assemble counter tracks, so
+    # they buffer in memory; JSONL streams to disk as events happen.
+    tracer = JsonlTracer(args.trace) if args.trace_format == "jsonl" else RecordingTracer()
+    previous = set_tracer(tracer)
+    try:
+        return _dispatch(args)
+    finally:
+        tracer.emit(MetricsEvent(snapshot=METRICS.snapshot()))
+        tracer.close()
+        if args.trace_format == "chrome":
+            write_chrome_trace(args.trace, tracer.records)
+        set_tracer(previous)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         if args.app not in list_workloads():
             print(
@@ -189,7 +267,16 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
         config = _config(args)
-        result = get_result(args.app, args.policy, config)
+        if args.trace:
+            # A traced run must actually simulate — memo/store hits would
+            # replay a stored RunResult and emit no interval events — so it
+            # bypasses the lookup layers and drives the simulator directly
+            # (the engines pick the tracer up from the process-wide slot).
+            from repro.sim.driver import run_application
+
+            result = run_application(args.app, args.policy, config)
+        else:
+            result = get_result(args.app, args.policy, config)
         if args.json:
             json.dump(result.to_dict(), sys.stdout, indent=2)
             print()

@@ -242,6 +242,44 @@ class PartitionedSharedCache:
         """Per-thread way counts of one set (the Section V counters)."""
         return list(self._count[s])
 
+    def partition_distance(self) -> dict:
+        """How far eviction control still is from the target partition.
+
+        Per set, the distance is the number of *misplaced* ways — ways
+        held beyond their owner's target, ``sum_t max(0, count_t -
+        target_t)`` — which is the number of future evictions needed to
+        reach the targets exactly.  Partially filled sets only count ways
+        actually over target (unfilled ways are free to place correctly).
+
+        Returns a dict feeding the ``convergence`` telemetry event:
+        ``mean_distance`` (misplaced ways per set), ``max_distance``
+        (worst set), ``converged_sets`` (sets at distance zero) and
+        ``total_sets``.
+        """
+        targets = self.targets
+        n = self.n_threads
+        total = 0
+        worst = 0
+        converged = 0
+        for counts in self._count:
+            d = 0
+            for t in range(n):
+                over = counts[t] - targets[t]
+                if over > 0:
+                    d += over
+            total += d
+            if d > worst:
+                worst = d
+            if d == 0:
+                converged += 1
+        sets = self.geometry.sets
+        return {
+            "mean_distance": total / sets,
+            "max_distance": worst,
+            "converged_sets": converged,
+            "total_sets": sets,
+        }
+
     def check_invariants(self) -> None:
         """Assert internal consistency; used by property-based tests.
 

@@ -18,7 +18,7 @@ paper's Figure 8 definition.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["CacheStats", "StatsSnapshot"]
 

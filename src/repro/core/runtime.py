@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.records import IntervalObservation
+from repro.obs.events import IntervalEvent, RepartitionEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.base import PartitioningPolicy
 
 __all__ = ["PartitionDecision", "RuntimeSystem"]
@@ -42,12 +44,28 @@ class PartitionDecision:
 
 
 class RuntimeSystem:
-    """Monitor -> partition engine -> configuration unit, per interval."""
+    """Monitor -> partition engine -> configuration unit, per interval.
 
-    def __init__(self, policy: PartitioningPolicy) -> None:
+    When given an enabled :class:`~repro.obs.tracer.Tracer`, the runtime
+    narrates the loop: one ``interval`` event per invocation (the
+    monitor's observation, including what the policy's models *predicted*
+    this interval would look like when they chose its targets) and one
+    ``repartition`` event per decision that changed the partition.  With
+    the default :data:`~repro.obs.tracer.NULL_TRACER` the instrumentation
+    reduces to a single branch per interval.
+    """
+
+    def __init__(
+        self, policy: PartitioningPolicy, *, tracer: Tracer | None = None, app: str = ""
+    ) -> None:
         self.policy = policy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.app = app
         self.decisions: list[PartitionDecision] = []
         self.invocations = 0
+        # Prediction the policy made for the *next* interval, held so the
+        # next interval event can pair predicted against observed CPI.
+        self._pending_prediction: tuple[float, ...] | None = None
 
     @property
     def name(self) -> str:
@@ -63,7 +81,25 @@ class RuntimeSystem:
     def on_interval(self, obs: IntervalObservation) -> list[int] | None:
         """Called by the engine at each interval boundary."""
         self.invocations += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                IntervalEvent(
+                    app=self.app,
+                    policy=self.name,
+                    index=obs.index,
+                    cpi=obs.cpi,
+                    misses=tuple(obs.l2.misses),
+                    ways=obs.targets,
+                    critical_thread=obs.critical_thread,
+                    predicted_cpi=self._pending_prediction,
+                )
+            )
         targets = self.policy.on_interval(obs)
+        if tracer.enabled:
+            # A model-based policy refreshed its forecast while deciding;
+            # pair it with the *next* interval's observation.
+            self._pending_prediction = getattr(self.policy, "last_predicted_cpi", None)
         if targets is None:
             return None
         targets = [int(w) for w in targets]
@@ -71,6 +107,20 @@ class RuntimeSystem:
             raise ValueError(
                 f"policy {self.name!r} returned invalid targets {targets} "
                 f"for previous assignment {obs.targets}"
+            )
+        if tracer.enabled and tuple(targets) != obs.targets:
+            moved = sum(abs(n - o) for n, o in zip(targets, obs.targets)) // 2
+            tracer.emit(
+                RepartitionEvent(
+                    app=self.app,
+                    policy=self.name,
+                    index=obs.index,
+                    old=obs.targets,
+                    new=tuple(targets),
+                    trigger=getattr(self.policy, "last_trigger", "policy"),
+                    moved_ways=moved,
+                    iterations=getattr(self.policy, "last_iterations", None),
+                )
             )
         self.decisions.append(
             PartitionDecision(
@@ -91,3 +141,4 @@ class RuntimeSystem:
         self.policy.reset()
         self.decisions.clear()
         self.invocations = 0
+        self._pending_prediction = None

@@ -26,6 +26,8 @@ from repro.cache.shared import PartitionedSharedCache
 from repro.core.records import IntervalObservation, IntervalRecord, RunResult
 from repro.cpu.streams import CompiledProgram
 from repro.cpu.timing import TimingModel
+from repro.obs.events import ConvergenceEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sync.barrier import BarrierLog
 
 __all__ = ["CMPEngine"]
@@ -51,6 +53,11 @@ class CMPEngine:
         Interval length in instructions *per thread* (the aggregate tick is
         this value times the thread count), mirroring the paper's
         15 M-instruction intervals at our scale.
+    tracer:
+        Telemetry sink for per-interval ``convergence`` events (the
+        runtime emits ``interval``/``repartition`` itself).  Defaults to
+        the runtime's tracer, so wiring one through
+        :func:`repro.sim.run_application` covers both.
     """
 
     def __init__(
@@ -61,6 +68,7 @@ class CMPEngine:
         runtime=None,
         *,
         interval_instructions: int = 12_000,
+        tracer: Tracer | None = None,
     ) -> None:
         if l2.n_threads != compiled.n_threads:
             raise ValueError(
@@ -73,6 +81,9 @@ class CMPEngine:
         self.timing = timing
         self.runtime = runtime
         self.interval_instructions = interval_instructions
+        if tracer is None:
+            tracer = getattr(runtime, "tracer", None)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(self) -> RunResult:
         n = self.compiled.n_threads
@@ -95,6 +106,9 @@ class CMPEngine:
         tick_instr = [0] * n
         tick_busy = [0.0] * n
         tick_snapshot = l2.stats.snapshot()
+        tracer = self.tracer
+        trace_on = tracer.enabled
+        policy_name = getattr(self.runtime, "name", "none")
 
         def fire_tick(running: list[bool] | None = None) -> None:
             nonlocal next_tick, interval_index, tick_snapshot
@@ -112,6 +126,18 @@ class CMPEngine:
                 targets=tuple(l2.targets),
                 l2=snap.minus(tick_snapshot),
             )
+            if trace_on and l2.enforce_partition:
+                # Distance is measured against the targets in effect during
+                # the interval just closed, *before* the runtime may install
+                # new ones — i.e. how far eviction control actually got.
+                tracer.emit(
+                    ConvergenceEvent(
+                        app=self.compiled.name,
+                        policy=policy_name,
+                        index=interval_index,
+                        **l2.partition_distance(),
+                    )
+                )
             new_targets = None
             if self.runtime is not None:
                 new_targets = self.runtime.on_interval(obs)

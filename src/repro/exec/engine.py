@@ -21,6 +21,9 @@ from collections.abc import Callable, Sequence
 
 from repro.core.records import RunResult
 from repro.exec.jobs import JobOutcome, JobSpec
+from repro.obs.events import JobEndEvent, JobStartEvent, RetryEvent
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import get_tracer
 
 __all__ = ["ExecutionEngine", "SerialEngine", "execute_job"]
 
@@ -84,12 +87,24 @@ class ExecutionEngine(ABC):
             time.sleep(self.backoff_s * (2 ** (failed_rounds - 1)))
 
     def _execute_with_retry(
-        self, spec: JobSpec, *, attempts_used: int = 0, engine_name: str | None = None
+        self,
+        spec: JobSpec,
+        *,
+        attempts_used: int = 0,
+        engine_name: str | None = None,
+        emit_start: bool = True,
     ) -> JobOutcome:
         """In-process attempt loop shared by the serial engine and by pool
         engines degrading to serial: ``attempts_used`` carries over attempts
-        a job already consumed elsewhere (e.g. in a broken pool)."""
+        a job already consumed elsewhere (e.g. in a broken pool), in which
+        case the pool already announced the job and ``emit_start`` is False.
+        """
         name = engine_name if engine_name is not None else self.name
+        tracer = get_tracer()
+        if tracer.enabled and emit_start:
+            tracer.emit(
+                JobStartEvent(label=spec.label, app=spec.app, policy=spec.policy, engine=name)
+            )
         attempts = attempts_used
         error = "no attempts made"
         while attempts < max(self.max_attempts, attempts_used + 1):
@@ -101,13 +116,47 @@ class ExecutionEngine(ABC):
                 result = self.job_runner(spec)
             except Exception as exc:  # noqa: BLE001 — a job failure is data
                 error = f"{type(exc).__name__}: {exc}"
+                METRICS.counter("exec.retries").inc()
+                if tracer.enabled:
+                    tracer.emit(
+                        RetryEvent(label=spec.label, engine=name, attempt=attempts, error=error)
+                    )
                 continue
+            duration = time.perf_counter() - start
+            METRICS.timer("exec.job").observe(duration)
+            METRICS.counter("exec.jobs_ok").inc()
+            if tracer.enabled:
+                tracer.emit(
+                    JobEndEvent(
+                        label=spec.label,
+                        app=spec.app,
+                        policy=spec.policy,
+                        engine=name,
+                        ok=True,
+                        attempts=attempts,
+                        duration_s=duration,
+                    )
+                )
             return JobOutcome(
                 spec=spec,
                 result=result,
                 attempts=attempts,
-                duration_s=time.perf_counter() - start,
+                duration_s=duration,
                 engine=name,
+            )
+        METRICS.counter("exec.jobs_failed").inc()
+        if tracer.enabled:
+            tracer.emit(
+                JobEndEvent(
+                    label=spec.label,
+                    app=spec.app,
+                    policy=spec.policy,
+                    engine=name,
+                    ok=False,
+                    attempts=attempts,
+                    duration_s=0.0,
+                    error=error,
+                )
             )
         return JobOutcome(spec=spec, error=error, attempts=attempts, engine=name)
 

@@ -30,6 +30,9 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from repro.core.records import RunResult
 from repro.exec.engine import ExecutionEngine
 from repro.exec.jobs import JobOutcome, JobSpec
+from repro.obs.events import JobEndEvent, JobStartEvent, RetryEvent
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import get_tracer
 
 __all__ = ["ProcessPoolEngine"]
 
@@ -98,6 +101,40 @@ class ProcessPoolEngine(ExecutionEngine):
             # A pool buys nothing here; keep the exact serial semantics.
             return [self._execute_with_retry(spec, engine_name=self.name) for spec in specs]
 
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Workers cannot reach this process's tracer, so job lifecycle
+            # is narrated from here: every job starts now (they are all
+            # queued for the first round), and ends when its outcome is
+            # finalised below.
+            for spec in specs:
+                tracer.emit(
+                    JobStartEvent(
+                        label=spec.label, app=spec.app, policy=spec.policy, engine=self.name
+                    )
+                )
+
+        def finalize(outcome: JobOutcome) -> JobOutcome:
+            if outcome.ok:
+                METRICS.timer("exec.job").observe(outcome.duration_s)
+                METRICS.counter("exec.jobs_ok").inc()
+            else:
+                METRICS.counter("exec.jobs_failed").inc()
+            if tracer.enabled:
+                tracer.emit(
+                    JobEndEvent(
+                        label=outcome.spec.label,
+                        app=outcome.spec.app,
+                        policy=outcome.spec.policy,
+                        engine=outcome.engine,
+                        ok=outcome.ok,
+                        attempts=outcome.attempts,
+                        duration_s=outcome.duration_s,
+                        error=outcome.error,
+                    )
+                )
+            return outcome
+
         outcomes: list[JobOutcome | None] = [None] * len(specs)
         attempts = [0] * len(specs)
         pending: list[_IndexedSpec] = list(enumerate(specs))
@@ -109,21 +146,35 @@ class ProcessPoolEngine(ExecutionEngine):
             successes, failures, remainder, degrade = self._pool_round(pending)
             for idx, result, duration in successes:
                 attempts[idx] += 1
-                outcomes[idx] = JobOutcome(
-                    spec=specs[idx],
-                    result=result,
-                    attempts=attempts[idx],
-                    duration_s=duration,
-                    engine=self.name,
+                outcomes[idx] = finalize(
+                    JobOutcome(
+                        spec=specs[idx],
+                        result=result,
+                        attempts=attempts[idx],
+                        duration_s=duration,
+                        engine=self.name,
+                    )
                 )
             # Jobs in `remainder` were never dispatched (their pool went
             # away first); they keep their attempt budget.
             pending = list(remainder)
             for idx, error in failures:
                 attempts[idx] += 1
+                METRICS.counter("exec.retries").inc()
+                if tracer.enabled:
+                    tracer.emit(
+                        RetryEvent(
+                            label=specs[idx].label,
+                            engine=self.name,
+                            attempt=attempts[idx],
+                            error=error,
+                        )
+                    )
                 if attempts[idx] >= self.max_attempts:
-                    outcomes[idx] = JobOutcome(
-                        spec=specs[idx], error=error, attempts=attempts[idx], engine=self.name
+                    outcomes[idx] = finalize(
+                        JobOutcome(
+                            spec=specs[idx], error=error, attempts=attempts[idx], engine=self.name
+                        )
                     )
                 else:
                     pending.append((idx, specs[idx]))
@@ -132,8 +183,14 @@ class ProcessPoolEngine(ExecutionEngine):
             if degrade and pending:
                 pending.sort()
                 for idx, spec in pending:
+                    # The pool already announced these jobs, and the serial
+                    # path emits its own job_end/metrics — no second
+                    # job_start and no finalize() here.
                     outcomes[idx] = self._execute_with_retry(
-                        spec, attempts_used=attempts[idx], engine_name=f"{self.name}→serial"
+                        spec,
+                        attempts_used=attempts[idx],
+                        engine_name=f"{self.name}→serial",
+                        emit_start=False,
                     )
                 pending = []
 

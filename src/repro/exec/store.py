@@ -35,6 +35,9 @@ from pathlib import Path
 import repro
 from repro.core.records import RunResult
 from repro.exec.jobs import JobSpec
+from repro.obs.events import StoreHitEvent, StoreMissEvent
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import get_tracer
 
 __all__ = ["ResultStore"]
 
@@ -75,18 +78,25 @@ class ResultStore:
                 payload = json.load(fh)
         except FileNotFoundError:
             self.misses += 1
+            METRICS.counter("store.misses").inc()
+            self._trace_miss(spec)
             return None
         except (OSError, json.JSONDecodeError):
-            return self._evict_corrupt(path)
+            return self._evict_corrupt(path, spec)
         try:
             if payload["version"] != self.version or payload["spec"] != spec.canonical():
-                return self._evict_corrupt(path)
+                return self._evict_corrupt(path, spec)
             result = RunResult.from_dict(payload["result"])
         except Exception:  # noqa: BLE001 — any malformed payload is corruption
-            return self._evict_corrupt(path)
+            return self._evict_corrupt(path, spec)
         self.hits += 1
+        METRICS.counter("store.hits").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(StoreHitEvent(label=spec.label, digest=spec.digest))
         return result
 
+    @METRICS.timed("store.put")
     def put(self, spec: JobSpec, result: RunResult) -> Path:
         """Persist ``result`` under ``spec``'s digest (atomic publish)."""
         path = self.path_for(spec)
@@ -140,9 +150,17 @@ class ResultStore:
             "corrupt": self.corrupt,
         }
 
-    def _evict_corrupt(self, path: Path) -> None:
+    def _trace_miss(self, spec: JobSpec, *, corrupt: bool = False) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(StoreMissEvent(label=spec.label, digest=spec.digest, corrupt=corrupt))
+
+    def _evict_corrupt(self, path: Path, spec: JobSpec) -> None:
         self.corrupt += 1
         self.misses += 1
+        METRICS.counter("store.misses").inc()
+        METRICS.counter("store.corrupt").inc()
+        self._trace_miss(spec, corrupt=True)
         try:
             path.unlink()
         except OSError:

@@ -25,6 +25,8 @@ from repro.core.records import RunResult
 from repro.exec.engine import ExecutionEngine, SerialEngine
 from repro.exec.jobs import JobSpec
 from repro.exec.store import ResultStore
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import get_tracer
 from repro.sim.config import SystemConfig
 
 __all__ = [
@@ -122,7 +124,11 @@ def get_results(
 
     if misses:
         specs = [JobSpec(app, policy, config) for app, policy in misses]
-        for spec, outcome in zip(specs, _ENGINE.run(specs), strict=True):
+        # Fixed span name: the report aggregates time-in-phase by name.
+        with get_tracer().span("simulate-batch"):
+            outcomes = _ENGINE.run(specs)
+        METRICS.counter("experiments.batches").inc()
+        for spec, outcome in zip(specs, outcomes, strict=True):
             if not outcome.ok:
                 raise RuntimeError(
                     f"simulation of {spec.label} failed after "

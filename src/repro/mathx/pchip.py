@@ -52,16 +52,19 @@ class PchipSpline1D:
         # Interior tangents: weighted harmonic mean when the secants agree
         # in sign, zero at local extrema (this is what kills overshoot).
         for i in range(1, n - 1):
-            if delta[i - 1] == 0.0 or delta[i] == 0.0 or (delta[i - 1] * delta[i]) < 0:
+            # Compare signs directly: the product of two denormal secants
+            # underflows to -0.0 and would miss the opposite-sign case.
+            if delta[i - 1] == 0.0 or delta[i] == 0.0 or np.sign(delta[i - 1]) != np.sign(delta[i]):
                 d[i] = 0.0
             else:
                 w1 = 2 * h[i] + h[i - 1]
                 w2 = h[i] + 2 * h[i - 1]
                 with np.errstate(over="ignore"):
                     denom = w1 / delta[i - 1] + w2 / delta[i]
-                # A denormally small secant overflows the reciprocal; the
-                # harmonic mean's limit there is a zero tangent.
-                d[i] = (w1 + w2) / denom if np.isfinite(denom) else 0.0
+                # A denormally small secant overflows the reciprocal (or
+                # opposite reciprocals cancel to zero); the harmonic mean's
+                # limit there is a zero tangent.
+                d[i] = (w1 + w2) / denom if np.isfinite(denom) and denom != 0.0 else 0.0
         # One-sided endpoint tangents (shape-preserving variant).
         d[0] = PchipSpline1D._edge_tangent(h[0], h[1], delta[0], delta[1])
         d[-1] = PchipSpline1D._edge_tangent(h[-1], h[-2], delta[-1], delta[-2])

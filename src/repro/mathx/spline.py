@@ -21,7 +21,7 @@ available for callers that want a gradient signal beyond the data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

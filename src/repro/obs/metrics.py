@@ -1,0 +1,180 @@
+"""Counters, gauges and timers: the always-on half of the subsystem.
+
+Unlike tracing (off by default, per-event), metrics are cheap aggregates a
+long-lived process accumulates regardless: a counter increment is one
+integer add, a timer observation two ``perf_counter`` calls.  The
+registry get-or-create is locked so concurrent engines can share the
+global :data:`METRICS` instance; the increments themselves rely on the
+GIL (every writer in this codebase is single-threaded per process).
+
+Usage::
+
+    from repro.obs import METRICS
+
+    METRICS.counter("sim.program_cache.evictions").inc()
+    with METRICS.span("exec.batch"):
+        engine.run(specs)
+
+    @METRICS.timed("store.put")
+    def put(...): ...
+
+``snapshot()`` returns a plain JSON-safe dict; the CLI emits it as a final
+``metrics`` trace event so counters land in the same file as the event
+stream.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import threading
+import time
+
+__all__ = ["Counter", "Gauge", "METRICS", "Metrics", "Timer"]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge for levels")
+        self.value += n
+
+
+class Gauge:
+    """A level that can move both ways (e.g. a cache's current size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Timer:
+    """Aggregated durations: count, total, max (mean derived)."""
+
+    __slots__ = ("name", "count", "total_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+class Metrics:
+    """A named registry of counters/gauges/timers.
+
+    Accessors get-or-create, so instrumented code never has to declare
+    metrics up front; asking for an existing name with a different type is
+    an error (it would silently split one series into two).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Timer] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, cls(name))
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    @contextlib.contextmanager
+    def span(self, name: str):
+        """Time a block into ``timer(name)`` (monotonic clock)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timer(name).observe(time.perf_counter() - start)
+
+    def timed(self, name: str | None = None):
+        """Decorator form of :meth:`span`; defaults to the function's
+        qualified name."""
+
+        def decorate(fn):
+            timer_name = name if name is not None else fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                start = time.perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    self.timer(timer_name).observe(time.perf_counter() - start)
+
+            return wrapper
+
+        return decorate
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every metric, grouped by type."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        timers: dict[str, dict] = {}
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for m in metrics:
+            if isinstance(m, Counter):
+                counters[m.name] = m.value
+            elif isinstance(m, Gauge):
+                gauges[m.name] = m.value
+            else:
+                timers[m.name] = {
+                    "count": m.count,
+                    "total_s": m.total_s,
+                    "mean_s": m.mean_s,
+                    "max_s": m.max_s,
+                }
+        return {"counters": counters, "gauges": gauges, "timers": timers}
+
+    def reset(self) -> None:
+        """Zero every registered metric (the registry itself survives)."""
+        with self._lock:
+            for m in self._metrics.values():
+                if isinstance(m, Counter):
+                    m.value = 0
+                elif isinstance(m, Gauge):
+                    m.value = 0.0
+                else:
+                    m.count, m.total_s, m.max_s = 0, 0.0, 0.0
+
+
+METRICS = Metrics()
+"""The process-wide registry every layer shares."""

@@ -1,0 +1,166 @@
+"""Tracers: where telemetry events go.
+
+The contract instrumented code follows is *guard, then emit*::
+
+    tracer = get_tracer()
+    ...
+    if tracer.enabled:
+        tracer.emit(IntervalEvent(...))
+
+``enabled`` is a class attribute, so the disabled path costs one attribute
+read and a branch — no event object is ever constructed.  The default
+:data:`NULL_TRACER` is disabled; simulation results are identical whether
+tracing is off, recording in memory or streaming to disk, because tracers
+only *observe* (a test pins this).
+
+A module-level current tracer (:func:`get_tracer` / :func:`set_tracer`)
+exists so layers that are already globally configured (the execution
+engines, the result store — see ``experiments.runner.configure``) can pick
+up the CLI's ``--trace`` sink without threading a parameter through every
+call site.  Library users who want explicit wiring pass a tracer straight
+to :func:`repro.sim.run_application`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from pathlib import Path
+
+from repro.obs.events import SpanEvent, TraceEvent
+
+__all__ = [
+    "JsonlTracer",
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+]
+
+
+class Tracer:
+    """Base tracer: stamps wall-clock timestamps relative to its creation.
+
+    Timestamps are ``time.perf_counter`` deltas (monotonic, sub-microsecond
+    resolution), so a trace is self-consistent even across system clock
+    adjustments.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+
+    def timestamp(self) -> float:
+        """Seconds since this tracer was created."""
+        return time.perf_counter() - self.epoch
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def record(self, event: TraceEvent) -> dict:
+        """The wire form of one event: payload plus ``kind`` and ``ts``."""
+        return {"kind": event.kind, "ts": self.timestamp(), **event.to_dict()}
+
+    @contextlib.contextmanager
+    def span(self, name: str):
+        """Time a block and emit a :class:`SpanEvent` when it exits."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit(SpanEvent(name=name, duration_s=time.perf_counter() - start))
+
+    def close(self) -> None:
+        """Flush and release any underlying sink (idempotent)."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op.
+
+    Instrumented code never reaches ``emit`` when it honours the
+    ``enabled`` guard; the methods exist so unguarded calls are still safe.
+    """
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def span(self, name: str):
+        return contextlib.nullcontext()
+
+
+NULL_TRACER = NullTracer()
+"""Shared disabled tracer (stateless, safe to reuse everywhere)."""
+
+
+class RecordingTracer(Tracer):
+    """Buffers events in memory — the tracer tests and the Chrome exporter
+    use (the latter because ``trace_event`` JSON is a single array)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: list[TraceEvent] = []
+        self.records: list[dict] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        self.records.append(self.record(event))
+
+    def by_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlTracer(Tracer):
+    """Streams events to a file, one JSON object per line.
+
+    Lines are written eagerly but buffered by the file object; ``close``
+    flushes.  The format is the native input of ``repro report`` and of
+    :func:`repro.obs.export.read_events`.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self.n_events = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        json.dump(self.record(event), self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+        self.n_events += 1
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+
+
+_TRACER: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide current tracer (:data:`NULL_TRACER` by default)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` as the current tracer; ``None`` restores the
+    disabled default.  Returns the previously installed tracer so callers
+    can restore it."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer if tracer is not None else NULL_TRACER
+    return previous

@@ -25,6 +25,10 @@ __all__ = ["CPIProportionalPolicy"]
 class CPIProportionalPolicy(PartitioningPolicy):
     """Ways proportional to per-thread CPI, largest-remainder rounded."""
 
+    # Read by the telemetry layer when a decision changes the partition;
+    # this policy has exactly one decision rule, so the trigger is static.
+    last_trigger = "cpi-proportional"
+
     @property
     def name(self) -> str:
         return "cpi-proportional"

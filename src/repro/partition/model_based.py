@@ -51,12 +51,16 @@ def optimize_max_cpi(
     min_rel_gain: float = 0.01,
     paper_termination: bool = False,
     max_step: int | None = 4,
+    stats_out: dict | None = None,
 ) -> list[int]:
     """Run the Fig. 13 reallocation loop from ``start_ways``.
 
     Returns the way assignment at which the loop terminated.  Exposed as a
     function (separate from the policy object) so tests and the Fig. 15
-    experiment can drive it against hand-built models.
+    experiment can drive it against hand-built models.  When ``stats_out``
+    is given, the loop writes ``{"iterations": attempted moves,
+    "moved_ways": kept moves}`` into it — the telemetry layer attaches
+    these to ``repartition`` events.
 
     Termination.  A move is reverted (and the loop ends) when it fails to
     lower the predicted maximum CPI by a relative ``min_rel_gain``.  This
@@ -96,6 +100,7 @@ def optimize_max_cpi(
     hi = total_ways if max_step is None else max_step
 
     pred = bank.predict(ways)
+    iterations = 0
     # Every kept move lowers the predicted max CPI by >= min_rel_gain, so
     # the loop is monotone; the bound is a backstop, not the terminator.
     for _ in range(4 * total_ways + 4):
@@ -113,6 +118,7 @@ def optimize_max_cpi(
         if donor < 0:
             break  # nobody can donate; partition is as skewed as allowed
 
+        iterations += 1
         ways[t_max] += 1
         ways[donor] -= 1
         new_pred = pred.copy()
@@ -130,6 +136,9 @@ def optimize_max_cpi(
         pred = new_pred
 
     assert sum(ways) == total_ways
+    if stats_out is not None:
+        stats_out["iterations"] = iterations
+        stats_out["moved_ways"] = sum(abs(w - s) for w, s in zip(ways, start)) // 2
     return ways
 
 
@@ -169,6 +178,13 @@ class ModelBasedPolicy(PartitioningPolicy):
         self._cooldown_until: dict[int, int] = {}
         self.bank = ThreadModelBank(n_threads, alpha=alpha, extrapolation=extrapolation)
         self._intervals_seen = 0
+        # Decision introspection, read by the telemetry layer (see
+        # repro.obs / RuntimeSystem): what the models forecast for the
+        # chosen assignment, what triggered the last decision, and how
+        # many optimiser iterations it took.
+        self.last_predicted_cpi: tuple[float, ...] | None = None
+        self.last_trigger: str = "model"
+        self.last_iterations: int | None = None
 
     @property
     def name(self) -> str:
@@ -188,11 +204,15 @@ class ModelBasedPolicy(PartitioningPolicy):
             # Paper: "At the end of first two intervals: use the previous
             # CPI based cache partitioning."  Also taken whenever a thread
             # has no model yet (it retired no instructions so far).
+            self.last_predicted_cpi = None
+            self.last_trigger = "bootstrap"
+            self.last_iterations = None
             return self._validate(
                 largest_remainder_apportion(obs.cpi, self.total_ways, minimum=self.min_ways)
             )
 
         start = self._settle_probe(obs)
+        opt_stats: dict = {}
         ways = optimize_max_cpi(
             self.bank,
             start,
@@ -201,9 +221,16 @@ class ModelBasedPolicy(PartitioningPolicy):
             min_rel_gain=self.min_rel_gain,
             paper_termination=self.paper_termination,
             max_step=self.max_step,
+            stats_out=opt_stats,
         )
+        self.last_trigger = "model"
+        self.last_iterations = opt_stats.get("iterations")
         if self.probe and ways == start:
-            ways = self._probe_step(obs, ways)
+            probed = self._probe_step(obs, ways)
+            if probed != ways:
+                self.last_trigger = "probe"
+            ways = probed
+        self.last_predicted_cpi = tuple(float(v) for v in self.bank.predict(ways))
         return self._validate(ways)
 
     def _settle_probe(self, obs: IntervalObservation) -> list[int]:
@@ -265,3 +292,6 @@ class ModelBasedPolicy(PartitioningPolicy):
         self._intervals_seen = 0
         self._probe_state = None
         self._cooldown_until.clear()
+        self.last_predicted_cpi = None
+        self.last_trigger = "model"
+        self.last_iterations = None

@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from repro.core.records import IntervalObservation
-from repro.partition.base import PartitioningPolicy, equal_targets
+from repro.partition.base import PartitioningPolicy
 
 __all__ = ["SharedCachePolicy", "StaticEqualPolicy", "StaticPolicy"]
 

@@ -9,20 +9,37 @@ L1-filtered L2 streams are identical across policies, policy comparisons
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.cache.shared import PartitionedSharedCache
 from repro.core.records import RunResult
 from repro.core.runtime import RuntimeSystem
 from repro.cpu.engine import CMPEngine
 from repro.cpu.streams import CompiledProgram, compile_program
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import Tracer, get_tracer
 from repro.partition import POLICY_REGISTRY
 from repro.partition.base import PartitioningPolicy
 from repro.sim.config import SystemConfig
 from repro.trace.builder import build_program
 from repro.trace.workloads import WorkloadProfile, get_workload
 
-__all__ = ["clear_program_cache", "make_policy", "prepare_program", "run_application"]
+__all__ = [
+    "clear_program_cache",
+    "make_policy",
+    "prepare_program",
+    "run_application",
+    "set_program_cache_limit",
+]
 
-_PROGRAM_CACHE: dict[tuple, CompiledProgram] = {}
+# Compiled programs are large (every per-thread L2 stream of every section);
+# an unbounded memo turns a long sweep into a slow leak.  LRU with a
+# configurable cap: a policy comparison re-reads the same entry for every
+# policy, so even a small cap keeps the hit rate of the old unbounded dict.
+DEFAULT_PROGRAM_CACHE_LIMIT = 32
+
+_PROGRAM_CACHE: OrderedDict[tuple, CompiledProgram] = OrderedDict()
+_PROGRAM_CACHE_LIMIT = DEFAULT_PROGRAM_CACHE_LIMIT
 
 
 def _cache_key(profile: WorkloadProfile, config: SystemConfig) -> tuple:
@@ -44,24 +61,45 @@ def prepare_program(app: str | WorkloadProfile, config: SystemConfig) -> Compile
     profile = get_workload(app) if isinstance(app, str) else app
     key = _cache_key(profile, config)
     compiled = _PROGRAM_CACHE.get(key)
-    if compiled is None:
-        program = build_program(
-            profile,
-            n_threads=config.n_threads,
-            n_intervals=config.n_intervals,
-            interval_instructions=config.interval_instructions,
-            sections_per_interval=config.sections_per_interval,
-            seed=config.seed,
-            line_bytes=config.line_bytes,
-        )
-        compiled = compile_program(program, config.l1_geometry, config.timing)
-        _PROGRAM_CACHE[key] = compiled
+    if compiled is not None:
+        METRICS.counter("sim.program_cache.hits").inc()
+        _PROGRAM_CACHE.move_to_end(key)
+        return compiled
+    METRICS.counter("sim.program_cache.misses").inc()
+    program = build_program(
+        profile,
+        n_threads=config.n_threads,
+        n_intervals=config.n_intervals,
+        interval_instructions=config.interval_instructions,
+        sections_per_interval=config.sections_per_interval,
+        seed=config.seed,
+        line_bytes=config.line_bytes,
+    )
+    compiled = compile_program(program, config.l1_geometry, config.timing)
+    _PROGRAM_CACHE[key] = compiled
+    while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_LIMIT:
+        _PROGRAM_CACHE.popitem(last=False)
+        METRICS.counter("sim.program_cache.evictions").inc()
+    METRICS.gauge("sim.program_cache.size").set(len(_PROGRAM_CACHE))
     return compiled
+
+
+def set_program_cache_limit(limit: int) -> None:
+    """Cap the compiled-program memo at ``limit`` entries (LRU beyond it)."""
+    global _PROGRAM_CACHE_LIMIT
+    if limit < 1:
+        raise ValueError("program cache limit must be >= 1")
+    _PROGRAM_CACHE_LIMIT = limit
+    while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_LIMIT:
+        _PROGRAM_CACHE.popitem(last=False)
+        METRICS.counter("sim.program_cache.evictions").inc()
+    METRICS.gauge("sim.program_cache.size").set(len(_PROGRAM_CACHE))
 
 
 def clear_program_cache() -> None:
     """Drop all memoised compiled programs (tests use this to bound memory)."""
     _PROGRAM_CACHE.clear()
+    METRICS.gauge("sim.program_cache.size").set(0)
 
 
 def make_policy(policy: str | PartitioningPolicy, config: SystemConfig) -> PartitioningPolicy:
@@ -82,6 +120,8 @@ def run_application(
     app: str | WorkloadProfile,
     policy: str | PartitioningPolicy,
     config: SystemConfig | None = None,
+    *,
+    tracer: Tracer | None = None,
 ) -> RunResult:
     """Simulate one application under one partitioning policy.
 
@@ -90,12 +130,21 @@ def run_application(
         result = run_application("swim", "model-based")
         baseline = run_application("swim", "shared")
         print(result.speedup_over(baseline))
+
+    ``tracer`` receives the run's telemetry (``interval``, ``repartition``,
+    ``convergence`` events plus prepare/simulate spans); it defaults to the
+    process-wide tracer from :func:`repro.obs.get_tracer`, which is the
+    no-op :data:`~repro.obs.NULL_TRACER` unless the CLI (``--trace``) or a
+    caller installed one.
     """
     config = config or SystemConfig.default()
-    compiled = prepare_program(app, config)
-    policy_obj = make_policy(policy, config)
-    policy_obj.reset()
-    runtime = RuntimeSystem(policy_obj)
+    if tracer is None:
+        tracer = get_tracer()
+    with tracer.span("prepare"):
+        compiled = prepare_program(app, config)
+        policy_obj = make_policy(policy, config)
+        policy_obj.reset()
+    runtime = RuntimeSystem(policy_obj, tracer=tracer, app=compiled.name)
     l2 = PartitionedSharedCache(
         config.l2_geometry,
         config.n_threads,
@@ -108,5 +157,7 @@ def run_application(
         config.timing,
         runtime,
         interval_instructions=config.interval_instructions,
+        tracer=tracer,
     )
-    return engine.run()
+    with tracer.span("simulate"):
+        return engine.run()

@@ -10,6 +10,19 @@ from repro.cpu.timing import TimingModel
 from repro.sim.config import SystemConfig
 
 
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """The tracer slot and metrics registry are process-wide; pin every
+    test to the disabled default and zeroed counters."""
+    from repro.obs import METRICS, set_tracer
+
+    set_tracer(None)
+    METRICS.reset()
+    yield
+    set_tracer(None)
+    METRICS.reset()
+
+
 @pytest.fixture
 def small_geometry() -> CacheGeometry:
     """A tiny cache: 4 sets x 4 ways x 64 B = 1 KB."""

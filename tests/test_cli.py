@@ -25,10 +25,37 @@ class TestParser:
         args = build_parser().parse_args(["run", "swim"])
         assert args.app == "swim"
         assert args.policy == "model-based"
+        assert args.trace is None
+        assert args.trace_format == "jsonl"
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "swim", "--policy", "bogus"])
+
+    def test_policy_aliases_normalise(self):
+        args = build_parser().parse_args(["run", "swim", "--policy", "model"])
+        assert args.policy == "model-based"
+        args = build_parser().parse_args(["sweep", "--policies", "cpi", "equal"])
+        assert args.policies == ["cpi-proportional", "static-equal"]
+
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["run", "swim", "--jobs", "0"])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "swim", "--jobs", "many"])
+
+    def test_trace_format_is_validated(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["run", "swim", "--trace", "t", "--trace-format", "xml"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_report_args(self):
+        args = build_parser().parse_args(["report", "t.jsonl", "--top", "3"])
+        assert args.trace == "t.jsonl"
+        assert args.top == 3
 
     def test_figure_choices(self):
         args = build_parser().parse_args(["figure", "fig20"])
@@ -126,6 +153,71 @@ class TestExecutionFlags:
         runner_mod.clear_result_cache()
         assert main(argv) == 0
         assert "store-hits=1" in capsys.readouterr().err
+
+
+class TestTraceFlags:
+    def test_run_trace_writes_interval_and_repartition_events(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", "swim", "--policy", "model", *QUICK, "--trace", str(trace)]) == 0
+        kinds = [json.loads(line)["kind"] for line in trace.read_text().splitlines()]
+        assert kinds.count("interval") >= 6  # one per interval
+        assert "repartition" in kinds
+        assert "convergence" in kinds
+        assert kinds[-1] == "metrics"  # final registry snapshot
+
+    def test_run_trace_bypasses_warm_store(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        argv = ["run", "ft", "--policy", "shared", *QUICK, "--cache-dir", str(store)]
+        assert main(argv) == 0  # warm the store
+        capsys.readouterr()
+        trace = tmp_path / "t.jsonl"
+        assert main([*argv, "--trace", str(trace)]) == 0
+        kinds = [json.loads(line)["kind"] for line in trace.read_text().splitlines()]
+        assert "interval" in kinds, "traced run must simulate, not replay the store"
+
+    def test_chrome_format_writes_trace_event_array(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main([
+            "run", "swim", "--policy", "model", *QUICK,
+            "--trace", str(trace), "--trace-format", "chrome",
+        ]) == 0
+        data = json.loads(trace.read_text())
+        assert isinstance(data, list) and data
+        assert all("ph" in e for e in data)
+
+    def test_report_summarizes_a_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", "swim", "--policy", "model", *QUICK, "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "run swim/model-based" in out
+        assert "per-thread CPI trajectory" in out
+        assert "repartitions:" in out
+
+    def test_report_rejects_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        trace.write_text("[]\n")
+        assert main(["report", str(trace)]) == 2
+        assert "Chrome trace" in capsys.readouterr().err
+
+    def test_report_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
+        assert "report:" in capsys.readouterr().err
+
+    def test_compare_trace_records_job_lifecycle(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["compare", "ft", *QUICK, "--trace", str(trace)]) == 0
+        kinds = [json.loads(line)["kind"] for line in trace.read_text().splitlines()]
+        assert kinds.count("job_start") == kinds.count("job_end") >= 4
+        assert "span" in kinds
+
+    def test_tracer_slot_restored_after_main(self, tmp_path, capsys):
+        from repro.obs import NULL_TRACER, get_tracer
+
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", "ft", "--policy", "shared", *QUICK, "--trace", str(trace)]) == 0
+        assert get_tracer() is NULL_TRACER
 
 
 class TestSweepCommand:

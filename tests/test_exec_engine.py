@@ -18,7 +18,6 @@ from repro.core.records import RunResult
 from repro.exec.engine import SerialEngine, execute_job
 from repro.exec.jobs import JobSpec
 from repro.exec.pool import ProcessPoolEngine
-from repro.sim.config import SystemConfig
 from repro.sim.driver import run_application
 
 

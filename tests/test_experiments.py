@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.experiments import (
-    EXPERIMENTS,
     ablation_cpi_vs_model,
     ablation_termination_rule,
     clear_result_cache,

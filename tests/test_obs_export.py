@@ -1,0 +1,185 @@
+"""Tests for the exporters (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlTracer,
+    MetricsEvent,
+    RecordingTracer,
+    chrome_trace,
+    read_events,
+    summarize,
+    write_chrome_trace,
+)
+from repro.sim.driver import run_application
+
+
+@pytest.fixture(scope="module")
+def traced_run_records(tiny_config_module):
+    tracer = RecordingTracer()
+    run_application("swim", "model-based", tiny_config_module, tracer=tracer)
+    return tracer.records
+
+
+@pytest.fixture(scope="module")
+def tiny_config_module():
+    from repro.cache.geometry import CacheGeometry
+    from repro.sim.config import SystemConfig
+
+    return SystemConfig(
+        n_threads=4,
+        l2_geometry=CacheGeometry(sets=16, ways=8),
+        interval_instructions=1_500,
+        n_intervals=6,
+        sections_per_interval=2,
+    )
+
+
+class TestReadEvents:
+    def test_roundtrips_a_jsonl_trace(self, tmp_path, traced_run_records):
+        path = tmp_path / "t.jsonl"
+        path.write_text("".join(json.dumps(rec) + "\n" for rec in traced_run_records))
+        records = read_events(path)
+        assert len(records) == len(traced_run_records)
+        assert records[0]["kind"] == traced_run_records[0]["kind"]
+
+    def test_reads_jsonl_tracer_output(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as t:
+            t.emit(MetricsEvent(snapshot={"counters": {}, "gauges": {}, "timers": {}}))
+        (rec,) = read_events(path)
+        assert rec["kind"] == "metrics"
+
+    def test_rejects_chrome_traces_with_guidance(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text('[{"ph": "M"}]\n')
+        with pytest.raises(ValueError, match="Chrome trace"):
+            read_events(path)
+
+    def test_rejects_invalid_json_with_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "span", "ts": 0}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            read_events(path)
+
+    def test_rejects_records_without_kind(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ts": 0}\n')
+        with pytest.raises(ValueError, match="kind"):
+            read_events(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "span", "ts": 0, "name": "x", "duration_s": 1}\n\n')
+        assert len(read_events(path)) == 1
+
+
+class TestChromeTrace:
+    def test_emits_valid_trace_event_array(self, traced_run_records):
+        events = chrome_trace(traced_run_records)
+        json.dumps(events)  # JSON-serialisable
+        assert all("ph" in e and "pid" in e for e in events)
+        phases = {e["ph"] for e in events}
+        assert "M" in phases  # process/thread metadata
+        assert "C" in phases  # CPI / ways / convergence counter tracks
+        names = {e["name"] for e in events if e["ph"] == "C"}
+        assert any(n.startswith("cpi ") for n in names)
+        assert any(n.startswith("ways ") for n in names)
+
+    def test_interval_counters_carry_per_thread_args(self, traced_run_records):
+        events = chrome_trace(traced_run_records)
+        cpi_tracks = [e for e in events if e["ph"] == "C" and e["name"].startswith("cpi ")]
+        assert cpi_tracks
+        assert set(cpi_tracks[0]["args"]) == {"t0", "t1", "t2", "t3"}
+
+    def test_job_end_becomes_complete_event(self):
+        records = [
+            {"kind": "job_start", "ts": 0.1, "label": "swim/shared",
+             "app": "swim", "policy": "shared", "engine": "serial"},
+            {"kind": "job_end", "ts": 1.1, "label": "swim/shared",
+             "app": "swim", "policy": "shared", "engine": "serial",
+             "ok": True, "attempts": 1, "duration_s": 1.0, "error": None},
+        ]
+        events = chrome_trace(records)
+        (x,) = [e for e in events if e["ph"] == "X"]
+        assert x["name"] == "swim/shared"
+        assert x["dur"] == pytest.approx(1.0e6)
+        assert x["ts"] == pytest.approx(0.1e6)
+
+    def test_write_chrome_trace_produces_loadable_json(self, tmp_path, traced_run_records):
+        path = tmp_path / "t.json"
+        write_chrome_trace(path, traced_run_records)
+        data = json.loads(path.read_text())
+        assert isinstance(data, list)
+        assert data, "trace array must not be empty"
+
+
+class TestSummarize:
+    def test_reports_run_trajectory_and_repartitions(self, traced_run_records):
+        text = summarize(traced_run_records)
+        assert "run swim/model-based" in text
+        assert "per-thread CPI trajectory" in text
+        assert "t0:" in text and "t3:" in text
+        assert "repartitions:" in text
+        assert "critical thread by interval" in text
+        assert "convergence:" in text
+        assert "time in phase" in text
+
+    def test_reports_jobs_and_store_sections(self):
+        records = [
+            {"kind": "job_end", "ts": 1.0, "label": "swim/shared", "app": "swim",
+             "policy": "shared", "engine": "serial", "ok": True, "attempts": 1,
+             "duration_s": 0.5, "error": None},
+            {"kind": "job_end", "ts": 2.0, "label": "cg/shared", "app": "cg",
+             "policy": "shared", "engine": "serial", "ok": False, "attempts": 3,
+             "duration_s": 0.0, "error": "ValueError: boom"},
+            {"kind": "retry", "ts": 1.5, "label": "cg/shared", "engine": "serial",
+             "attempt": 1, "error": "ValueError: boom"},
+            {"kind": "store_hit", "ts": 0.1, "label": "swim/shared", "digest": "ab"},
+            {"kind": "store_miss", "ts": 0.2, "label": "cg/shared", "digest": "cd",
+             "corrupt": True},
+        ]
+        text = summarize(records)
+        assert "jobs: 1 completed, 1 failed, 1 retried attempts" in text
+        assert "slowest 1 jobs" in text
+        assert "FAILED cg/shared: ValueError: boom" in text
+        assert "result store: 1 hits, 1 misses (1 corrupt)" in text
+
+    def test_top_limits_slowest_jobs(self):
+        records = [
+            {"kind": "job_end", "ts": float(i), "label": f"app{i}/shared", "app": f"app{i}",
+             "policy": "shared", "engine": "serial", "ok": True, "attempts": 1,
+             "duration_s": float(i), "error": None}
+            for i in range(10)
+        ]
+        text = summarize(records, top=3)
+        assert "slowest 3 jobs" in text
+        assert "app9/shared" in text  # slowest listed
+        assert "app0/shared" not in text
+
+    def test_metrics_snapshot_renders(self):
+        records = [
+            {"kind": "metrics", "ts": 1.0, "snapshot": {
+                "counters": {"exec.jobs_ok": 4},
+                "gauges": {"sim.program_cache.size": 2},
+                "timers": {"exec.job": {"count": 4, "total_s": 1.0,
+                                        "mean_s": 0.25, "max_s": 0.5}},
+            }},
+        ]
+        text = summarize(records)
+        assert "exec.jobs_ok" in text
+        assert "sim.program_cache.size" in text
+        assert "n=4" in text
+
+    def test_metrics_event_payload_matches_schema(self):
+        # The CLI emits this as the trace's last record; pin the envelope.
+        tracer = RecordingTracer()
+        tracer.emit(MetricsEvent(snapshot={"counters": {}, "gauges": {}, "timers": {}}))
+        (rec,) = tracer.records
+        assert rec["kind"] == "metrics"
+        assert "snapshot" in rec
+
+    def test_empty_trace_summarizes(self):
+        assert summarize([]).startswith("trace: 0 events")

@@ -1,0 +1,86 @@
+"""Partition invariants over full runs of every registered policy.
+
+The telemetry stream makes system-wide invariants checkable without
+instrumenting the engine: a :class:`RecordingTracer` sees every interval
+and every repartition decision of a run, so the way-budget and min-ways
+invariants can be asserted across the *whole* trajectory of each policy,
+not just at the endpoints.
+"""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.obs import RecordingTracer
+from repro.partition import POLICY_REGISTRY
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_application
+
+CONFIG = SystemConfig(
+    n_threads=4,
+    l2_geometry=CacheGeometry(sets=16, ways=8),
+    interval_instructions=1_500,
+    n_intervals=8,
+    sections_per_interval=2,
+)
+
+
+@pytest.mark.parametrize("policy", sorted(POLICY_REGISTRY))
+class TestPartitionInvariants:
+    def test_targets_sum_and_min_ways_every_interval(self, policy):
+        tracer = RecordingTracer()
+        result = run_application("swim", policy, CONFIG, tracer=tracer)
+        total_ways = CONFIG.l2_geometry.ways
+        intervals = tracer.by_kind("interval")
+        assert len(intervals) == len(result.intervals) > 0
+        enforcing = POLICY_REGISTRY[policy](
+            CONFIG.n_threads, total_ways, min_ways=CONFIG.min_ways
+        ).enforce_partition
+        for ev in intervals:
+            assert len(ev.ways) == CONFIG.n_threads
+            assert sum(ev.ways) == total_ways, (
+                f"{policy}: interval {ev.index} targets {ev.ways} do not sum to {total_ways}"
+            )
+            if enforcing:
+                assert min(ev.ways) >= CONFIG.min_ways, (
+                    f"{policy}: interval {ev.index} targets {ev.ways} violate "
+                    f"min_ways={CONFIG.min_ways}"
+                )
+
+    def test_repartition_events_are_internally_consistent(self, policy):
+        tracer = RecordingTracer()
+        run_application("swim", policy, CONFIG, tracer=tracer)
+        total_ways = CONFIG.l2_geometry.ways
+        for ev in tracer.by_kind("repartition"):
+            assert sum(ev.old) == total_ways
+            assert sum(ev.new) == total_ways
+            assert ev.old != ev.new, "a repartition event must record a change"
+            assert ev.moved_ways == sum(abs(n - o) for n, o in zip(ev.new, ev.old)) // 2
+            assert ev.moved_ways >= 1
+            assert ev.policy == policy
+
+    def test_interval_events_mirror_run_result(self, policy):
+        tracer = RecordingTracer()
+        result = run_application("swim", policy, CONFIG, tracer=tracer)
+        for ev, rec in zip(tracer.by_kind("interval"), result.intervals):
+            assert ev.index == rec.observation.index
+            assert ev.cpi == rec.observation.cpi
+            assert ev.ways == rec.observation.targets
+            assert ev.critical_thread == rec.observation.critical_thread
+
+    def test_convergence_distances_are_sane(self, policy):
+        tracer = RecordingTracer()
+        run_application("swim", policy, CONFIG, tracer=tracer)
+        convergences = tracer.by_kind("convergence")
+        enforcing = POLICY_REGISTRY[policy](
+            CONFIG.n_threads, CONFIG.l2_geometry.ways, min_ways=CONFIG.min_ways
+        ).enforce_partition
+        if not enforcing:
+            assert convergences == []  # no partition, nothing to converge to
+            return
+        assert convergences
+        sets = CONFIG.l2_geometry.sets
+        for ev in convergences:
+            assert ev.total_sets == sets
+            assert 0 <= ev.converged_sets <= sets
+            assert 0.0 <= ev.mean_distance <= CONFIG.l2_geometry.ways
+            assert ev.max_distance >= ev.mean_distance

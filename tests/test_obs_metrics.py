@@ -1,0 +1,117 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import METRICS, Counter, Gauge, Metrics, Timer
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="gauge"):
+            Counter("n").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("level")
+        g.set(7)
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_timer_aggregates(self):
+        t = Timer("t")
+        t.observe(0.2)
+        t.observe(0.6)
+        assert t.count == 2
+        assert t.total_s == pytest.approx(0.8)
+        assert t.max_s == pytest.approx(0.6)
+        assert t.mean_s == pytest.approx(0.4)
+
+    def test_timer_mean_of_nothing_is_zero(self):
+        assert Timer("t").mean_s == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        m = Metrics()
+        assert m.counter("a") is m.counter("a")
+        assert m.counter("a") is not m.counter("b")
+
+    def test_type_mismatch_is_an_error(self):
+        m = Metrics()
+        m.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            m.gauge("x")
+        with pytest.raises(TypeError):
+            m.timer("x")
+
+    def test_span_observes_into_named_timer(self):
+        m = Metrics()
+        with m.span("phase"):
+            pass
+        t = m.timer("phase")
+        assert t.count == 1
+        assert t.total_s >= 0.0
+
+    def test_span_observes_even_on_exception(self):
+        m = Metrics()
+        with pytest.raises(RuntimeError):
+            with m.span("phase"):
+                raise RuntimeError("boom")
+        assert m.timer("phase").count == 1
+
+    def test_timed_decorator_defaults_to_qualname(self):
+        m = Metrics()
+
+        @m.timed()
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        (name,) = m.snapshot()["timers"].keys()
+        assert "work" in name
+
+    def test_timed_decorator_explicit_name(self):
+        m = Metrics()
+
+        @m.timed("store.put")
+        def put():
+            return "ok"
+
+        put()
+        put()
+        assert m.timer("store.put").count == 2
+
+    def test_snapshot_is_json_safe_and_grouped(self):
+        m = Metrics()
+        m.counter("c").inc(3)
+        m.gauge("g").set(1.5)
+        m.timer("t").observe(0.1)
+        snap = m.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["timers"]["t"]["count"] == 1
+
+    def test_reset_zeroes_but_keeps_registry(self):
+        m = Metrics()
+        c = m.counter("c")
+        c.inc(9)
+        m.gauge("g").set(4)
+        m.timer("t").observe(1.0)
+        m.reset()
+        assert m.counter("c") is c
+        assert c.value == 0
+        assert m.gauge("g").value == 0.0
+        assert m.timer("t").count == 0
+        assert m.timer("t").max_s == 0.0
+
+    def test_global_registry_exists(self):
+        METRICS.counter("test.only").inc()
+        assert METRICS.snapshot()["counters"]["test.only"] == 1

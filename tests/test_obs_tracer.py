@@ -1,0 +1,190 @@
+"""Tests for tracers and events (repro.obs.tracer / repro.obs.events)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    IntervalEvent,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    RepartitionEvent,
+    SpanEvent,
+    get_tracer,
+    set_tracer,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.driver import clear_program_cache, run_application
+
+
+def _interval_event(index=0):
+    return IntervalEvent(
+        app="swim",
+        policy="model-based",
+        index=index,
+        cpi=(1.0, 2.0),
+        misses=(3, 4),
+        ways=(4, 4),
+        critical_thread=1,
+    )
+
+
+class TestEvents:
+    def test_events_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            _interval_event().index = 5
+
+    def test_to_dict_excludes_kind(self):
+        d = _interval_event().to_dict()
+        assert "kind" not in d  # the tracer adds it at the envelope level
+        assert d["app"] == "swim"
+        assert d["critical_thread"] == 1
+
+    def test_kind_registry_is_consistent(self):
+        assert "interval" in EVENT_KINDS
+        assert "repartition" in EVENT_KINDS
+        for kind, cls in EVENT_KINDS.items():
+            assert cls.kind == kind
+
+
+class TestNullTracer:
+    def test_disabled_and_noop(self):
+        t = NullTracer()
+        assert not t.enabled
+        t.emit(_interval_event())  # must not raise
+
+    def test_span_is_a_nullcontext(self):
+        with NULL_TRACER.span("anything"):
+            pass
+
+
+class TestRecordingTracer:
+    def test_records_events_and_wire_dicts(self):
+        t = RecordingTracer()
+        t.emit(_interval_event(0))
+        t.emit(_interval_event(1))
+        assert len(t) == 2
+        assert t.records[0]["kind"] == "interval"
+        assert t.records[0]["ts"] >= 0.0
+        assert t.records[1]["index"] == 1
+
+    def test_by_kind_filters(self):
+        t = RecordingTracer()
+        t.emit(_interval_event())
+        t.emit(
+            RepartitionEvent(
+                app="swim", policy="model-based", index=0,
+                old=(4, 4), new=(5, 3), trigger="model", moved_ways=1,
+            )
+        )
+        assert len(t.by_kind("interval")) == 1
+        assert len(t.by_kind("repartition")) == 1
+        assert t.by_kind("job_end") == []
+
+    def test_span_emits_span_event(self):
+        t = RecordingTracer()
+        with t.span("prepare"):
+            pass
+        (ev,) = t.by_kind("span")
+        assert isinstance(ev, SpanEvent)
+        assert ev.name == "prepare"
+        assert ev.duration_s >= 0.0
+
+
+class TestJsonlTracer:
+    def test_streams_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as t:
+            t.emit(_interval_event(0))
+            t.emit(_interval_event(1))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "interval"
+        assert first["cpi"] == [1.0, 2.0]
+        assert t.n_events == 2
+
+    def test_close_is_idempotent(self, tmp_path):
+        t = JsonlTracer(tmp_path / "t.jsonl")
+        t.close()
+        t.close()
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_and_restore(self):
+        t = RecordingTracer()
+        previous = set_tracer(t)
+        assert previous is NULL_TRACER
+        assert get_tracer() is t
+        set_tracer(previous)
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_none_restores_null(self):
+        set_tracer(RecordingTracer())
+        set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+
+class TestTracingIsPureObservation:
+    def test_traced_run_is_byte_identical_to_untraced(self, tiny_config):
+        config = tiny_config
+        plain = run_application("swim", "model-based", config)
+        clear_program_cache()  # force a fresh build under tracing
+        tracer = RecordingTracer()
+        traced = run_application("swim", "model-based", config, tracer=tracer)
+        assert len(tracer) > 0
+        plain_json = json.dumps(plain.to_dict(), sort_keys=True)
+        traced_json = json.dumps(traced.to_dict(), sort_keys=True)
+        assert plain_json == traced_json
+
+    def test_run_emits_interval_and_convergence_per_interval(self, tiny_config):
+        tracer = RecordingTracer()
+        result = run_application("swim", "model-based", tiny_config, tracer=tracer)
+        intervals = tracer.by_kind("interval")
+        assert len(intervals) == len(result.intervals)
+        assert len(tracer.by_kind("convergence")) == len(result.intervals)
+        assert [e.index for e in intervals] == list(range(len(intervals)))
+        spans = {e.name for e in tracer.by_kind("span")}
+        assert {"prepare", "simulate"} <= spans
+
+    def test_repartition_events_match_audit_trail(self, tiny_config):
+        tracer = RecordingTracer()
+        result = run_application("swim", "cpi-proportional", tiny_config, tracer=tracer)
+        changed = [
+            rec for rec in result.intervals
+            if rec.new_targets is not None and rec.new_targets != rec.observation.targets
+        ]
+        reparts = tracer.by_kind("repartition")
+        assert len(reparts) == len(changed)
+        for ev, rec in zip(reparts, changed):
+            assert ev.old == rec.observation.targets
+            assert ev.new == rec.new_targets
+            assert ev.trigger == "cpi-proportional"
+
+    def test_model_policy_reports_predictions_after_bootstrap(self):
+        from repro.cache.geometry import CacheGeometry
+
+        config = SystemConfig(
+            n_threads=4,
+            l2_geometry=CacheGeometry(sets=16, ways=8),
+            interval_instructions=1_500,
+            n_intervals=8,
+            sections_per_interval=2,
+        )
+        tracer = RecordingTracer()
+        run_application("swim", "model-based", config, tracer=tracer)
+        intervals = tracer.by_kind("interval")
+        # The prediction pairs with the *next* interval: nothing during
+        # bootstrap, model forecasts afterwards.
+        assert intervals[0].predicted_cpi is None
+        late = [e for e in intervals if e.predicted_cpi is not None]
+        assert late, "model-based run never paired a prediction"
+        for ev in late:
+            assert len(ev.predicted_cpi) == 4

@@ -1,0 +1,67 @@
+"""Tests for the bounded (LRU) compiled-program cache in repro.sim.driver."""
+
+import pytest
+
+from repro.obs import METRICS
+from repro.sim import driver
+from repro.trace.workloads import list_workloads
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache():
+    driver.clear_program_cache()
+    yield
+    driver.set_program_cache_limit(driver.DEFAULT_PROGRAM_CACHE_LIMIT)
+    driver.clear_program_cache()
+
+
+def _prepare(app, config):
+    return driver.prepare_program(app, config)
+
+
+class TestProgramCacheLRU:
+    def test_hit_returns_same_object_and_counts(self, quick_config):
+        first = _prepare("swim", quick_config)
+        assert METRICS.counter("sim.program_cache.misses").value == 1
+        second = _prepare("swim", quick_config)
+        assert second is first
+        assert METRICS.counter("sim.program_cache.hits").value == 1
+
+    def test_cache_never_exceeds_limit(self, quick_config):
+        driver.set_program_cache_limit(2)
+        apps = list_workloads()[:4]
+        for app in apps:
+            _prepare(app, quick_config)
+        assert len(driver._PROGRAM_CACHE) == 2
+        assert METRICS.counter("sim.program_cache.evictions").value == 2
+        assert METRICS.gauge("sim.program_cache.size").value == 2
+
+    def test_eviction_is_least_recently_used(self, quick_config):
+        driver.set_program_cache_limit(2)
+        a, b, c = list_workloads()[:3]
+        _prepare(a, quick_config)
+        _prepare(b, quick_config)
+        _prepare(a, quick_config)  # refresh a: b is now the LRU entry
+        _prepare(c, quick_config)  # evicts b
+        misses_before = METRICS.counter("sim.program_cache.misses").value
+        _prepare(a, quick_config)
+        assert METRICS.counter("sim.program_cache.misses").value == misses_before
+        _prepare(b, quick_config)  # must recompile
+        assert METRICS.counter("sim.program_cache.misses").value == misses_before + 1
+
+    def test_lowering_the_limit_trims_immediately(self, quick_config):
+        for app in list_workloads()[:3]:
+            _prepare(app, quick_config)
+        assert len(driver._PROGRAM_CACHE) == 3
+        driver.set_program_cache_limit(1)
+        assert len(driver._PROGRAM_CACHE) == 1
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            driver.set_program_cache_limit(0)
+
+    def test_clear_resets_size_gauge(self, quick_config):
+        _prepare("swim", quick_config)
+        driver.clear_program_cache()
+        assert len(driver._PROGRAM_CACHE) == 0
+        assert METRICS.gauge("sim.program_cache.size").value == 0
