@@ -26,9 +26,15 @@ Public surface:
 
 # Defined before any subpackage import: repro.exec reads it during package
 # initialisation (the store namespaces its entries by version).
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-from repro.cache import CacheGeometry, PartitionedSharedCache, PrivateCache
+from repro.cache import (
+    CacheGeometry,
+    FastPartitionedSharedCache,
+    PartitionedSharedCache,
+    PrivateCache,
+    make_shared_cache,
+)
 from repro.core import IntervalObservation, RunResult, RuntimeSystem, ThreadModelBank
 from repro.cpu import CMPEngine, TimingModel, compile_program
 from repro.exec import (
@@ -60,6 +66,7 @@ __all__ = [
     "CacheGeometry",
     "ExecutionEngine",
     "FairnessOrientedPolicy",
+    "FastPartitionedSharedCache",
     "IntervalObservation",
     "JobOutcome",
     "JobSpec",
@@ -87,6 +94,7 @@ __all__ = [
     "compile_program",
     "get_workload",
     "list_workloads",
+    "make_shared_cache",
     "prepare_program",
     "run_application",
     "run_sweep",

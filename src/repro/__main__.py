@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_exec_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
+            "--cache-backend", default="fast", choices=("fast", "reference"),
+            help="shared-L2 implementation: fast (vectorized replay kernel, "
+            "default) or reference (readable per-set model); outputs are "
+            "byte-identical",
+        )
+        p.add_argument(
             "--jobs", type=_positive_int, default=1, metavar="N",
             help="worker processes for simulations (>= 1; 1 = serial, default)",
         )
@@ -188,6 +194,7 @@ def _config(args: argparse.Namespace) -> SystemConfig:
         n_intervals=args.intervals,
         interval_instructions=args.interval_instructions,
         seed=args.seed,
+        cache_backend=args.cache_backend,
     )
 
 
@@ -340,6 +347,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         config = SystemConfig.default().with_(
             n_intervals=args.intervals,
             interval_instructions=args.interval_instructions,
+            cache_backend=args.cache_backend,
         )
         from repro.experiments.runner import current_engine, current_store
 

@@ -11,6 +11,8 @@ never needed.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 import numpy as np
 
 __all__ = ["PchipSpline1D"]
@@ -39,6 +41,12 @@ class PchipSpline1D:
         self.y = y
         self.extrapolation = extrapolation
         self._d = self._fritsch_carlson_tangents(x, y)
+        # Plain-float mirrors for the scalar fast path (the runtime's
+        # optimiser evaluates models one way-count at a time, where
+        # whole-array numpy dispatch overhead dominates the arithmetic).
+        self._xl = x.tolist()
+        self._yl = y.tolist()
+        self._dl = self._d.tolist()
 
     @staticmethod
     def _fritsch_carlson_tangents(x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -84,10 +92,47 @@ class PchipSpline1D:
         return self.x
 
     def __call__(self, q):
+        if isinstance(q, (int, float)):
+            return self._eval_scalar(float(q))
         scalar = np.isscalar(q)
         q_arr = np.atleast_1d(np.asarray(q, dtype=np.float64))
         out = self._eval(q_arr)
         return float(out[0]) if scalar else out
+
+    def _eval_scalar(self, q: float) -> float:
+        """Scalar evaluation in plain floats, bit-identical to `_eval`.
+
+        Every operation is an IEEE-754 add/sub/mul/div performed in the
+        same order as the vectorised path (which avoids `**`, whose
+        numpy ufunc is not correctly rounded), so both paths return the
+        same bits for the same input.
+        """
+        xl, yl, dl = self._xl, self._yl, self._dl
+        x0 = xl[0]
+        xn = xl[-1]
+        qc = x0 if q < x0 else (xn if q > xn else q)
+        i = bisect_right(xl, qc) - 1
+        hi_idx = len(xl) - 2
+        if i < 0:
+            i = 0
+        elif i > hi_idx:
+            i = hi_idx
+        h = xl[i + 1] - xl[i]
+        t = (qc - xl[i]) / h
+        u = 1 - t
+        u2 = u * u
+        out = (
+            (1 + 2 * t) * u2 * yl[i]
+            + t * u2 * h * dl[i]
+            + t * t * (3 - 2 * t) * yl[i + 1]
+            + t * t * (t - 1) * h * dl[i + 1]
+        )
+        if self.extrapolation == "linear":
+            if q < x0:
+                out = yl[0] + dl[0] * (q - x0)
+            elif q > xn:
+                out = yl[-1] + dl[-1] * (q - xn)
+        return out
 
     def _eval(self, q: np.ndarray) -> np.ndarray:
         x, y, d = self.x, self.y, self._d
@@ -95,9 +140,14 @@ class PchipSpline1D:
         idx = np.clip(np.searchsorted(x, qc, side="right") - 1, 0, x.size - 2)
         h = x[idx + 1] - x[idx]
         t = (qc - x[idx]) / h
-        # Cubic Hermite basis.
-        h00 = (1 + 2 * t) * (1 - t) ** 2
-        h10 = t * (1 - t) ** 2
+        # Cubic Hermite basis.  Squares are spelled as multiplies so the
+        # scalar fast path can reproduce them exactly (numpy's `**`
+        # ufunc is not correctly rounded and matches neither python
+        # `**` nor an explicit multiply).
+        u = 1 - t
+        u2 = u * u
+        h00 = (1 + 2 * t) * u2
+        h10 = t * u2
         h01 = t * t * (3 - 2 * t)
         h11 = t * t * (t - 1)
         out = h00 * y[idx] + h10 * h * d[idx] + h01 * y[idx + 1] + h11 * h * d[idx + 1]

@@ -21,6 +21,7 @@ available for callers that want a gradient signal beyond the data.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -69,6 +70,20 @@ class LinearModel1D:
     extrapolation: str = "clamp"
 
     def __call__(self, q: float | np.ndarray) -> float | np.ndarray:
+        if isinstance(q, (int, float)):
+            # Scalar fast path in plain floats; same IEEE ops and order
+            # as the array path below, so the bits agree.
+            q = float(q)
+            if self.x.size == 1:
+                return float(self.y[0])
+            x0 = float(self.x[0])
+            y0 = float(self.y[0])
+            slope = (float(self.y[1]) - y0) / (float(self.x[1]) - x0)
+            qq = q
+            if self.extrapolation == "clamp":
+                xn = float(self.x[-1])
+                qq = x0 if q < x0 else (xn if q > xn else q)
+            return y0 + slope * (qq - x0)
         q_arr = np.asarray(q, dtype=np.float64)
         if self.x.size == 1:
             out = np.full_like(q_arr, self.y[0], dtype=np.float64)
@@ -111,6 +126,10 @@ class CubicSpline1D:
         self.y = y
         self.extrapolation = extrapolation
         self._m = self._solve_second_derivatives(x, y)
+        # Plain-float mirrors for the scalar fast path.
+        self._xl = x.tolist()
+        self._yl = y.tolist()
+        self._ml = self._m.tolist()
 
     @staticmethod
     def _solve_second_derivatives(x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -132,10 +151,44 @@ class CubicSpline1D:
         return self.x
 
     def __call__(self, q: float | np.ndarray) -> float | np.ndarray:
+        if isinstance(q, (int, float)):
+            return self._eval_scalar(float(q))
         scalar = np.isscalar(q)
         q_arr = np.atleast_1d(np.asarray(q, dtype=np.float64))
         out = self._eval(q_arr)
         return float(out[0]) if scalar else out
+
+    def _eval_scalar(self, q: float) -> float:
+        """Scalar evaluation in plain floats, bit-identical to `_eval`.
+
+        Same IEEE add/sub/mul/div sequence as the vectorised path (which
+        spells cubes/squares as multiplies because numpy's `**` ufunc is
+        not correctly rounded), so both paths agree bit-for-bit.
+        """
+        xl, yl, ml = self._xl, self._yl, self._ml
+        x0 = xl[0]
+        xn = xl[-1]
+        qc = x0 if q < x0 else (xn if q > xn else q)
+        i = bisect_right(xl, qc) - 1
+        hi_idx = len(xl) - 2
+        if i < 0:
+            i = 0
+        elif i > hi_idx:
+            i = hi_idx
+        h = xl[i + 1] - xl[i]
+        a = (xl[i + 1] - qc) / h
+        b = (qc - xl[i]) / h
+        out = (
+            a * yl[i]
+            + b * yl[i + 1]
+            + ((a * a * a - a) * ml[i] + (b * b * b - b) * ml[i + 1]) * (h * h) / 6.0
+        )
+        if self.extrapolation == "linear":
+            if q < x0:
+                out = yl[0] + self._derivative_at_knot(0) * (q - x0)
+            elif q > xn:
+                out = yl[-1] + self._derivative_at_knot(-1) * (q - xn)
+        return out
 
     def _eval(self, q: np.ndarray) -> np.ndarray:
         x, y, m = self.x, self.y, self._m
@@ -144,10 +197,11 @@ class CubicSpline1D:
         h = x[idx + 1] - x[idx]
         a = (x[idx + 1] - qc) / h
         b = (qc - x[idx]) / h
+        # Cubes/squares spelled as multiplies: see `_eval_scalar`.
         out = (
             a * y[idx]
             + b * y[idx + 1]
-            + ((a**3 - a) * m[idx] + (b**3 - b) * m[idx + 1]) * h**2 / 6.0
+            + ((a * a * a - a) * m[idx] + (b * b * b - b) * m[idx + 1]) * (h * h) / 6.0
         )
         if self.extrapolation == "linear":
             lo = q < x[0]

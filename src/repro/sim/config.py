@@ -42,6 +42,11 @@ class SystemConfig:
     sections_per_interval: int = 2
     min_ways: int = 1
     seed: int = 1
+    # Shared-L2 implementation: "fast" (struct-of-arrays + fused replay
+    # kernel) or "reference" (the readable per-set implementation).  Both
+    # are byte-identical in output (tests/test_cache_differential.py), so
+    # this selects speed, never semantics.
+    cache_backend: str = "fast"
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:
@@ -58,6 +63,10 @@ class SystemConfig:
             raise ValueError("sections_per_interval must be >= 1")
         if self.min_ways < 0:
             raise ValueError("min_ways must be >= 0")
+        if self.cache_backend not in ("reference", "fast"):
+            raise ValueError(
+                f"cache_backend must be 'reference' or 'fast', got {self.cache_backend!r}"
+            )
 
     @property
     def line_bytes(self) -> int:
@@ -112,6 +121,7 @@ class SystemConfig:
             "sections_per_interval": self.sections_per_interval,
             "min_ways": self.min_ways,
             "seed": self.seed,
+            "cache_backend": self.cache_backend,
         }
 
     @classmethod
@@ -126,6 +136,8 @@ class SystemConfig:
             sections_per_interval=data["sections_per_interval"],
             min_ways=data["min_ways"],
             seed=data["seed"],
+            # Absent in pre-1.3 serialisations, which were always reference.
+            cache_backend=data.get("cache_backend", "reference"),
         )
 
     def describe(self) -> dict[str, str]:

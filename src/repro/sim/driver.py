@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.cache.shared import PartitionedSharedCache
+from repro.cache.fastpath import make_shared_cache
 from repro.core.records import RunResult
 from repro.core.runtime import RuntimeSystem
 from repro.cpu.engine import CMPEngine
@@ -145,9 +145,10 @@ def run_application(
         policy_obj = make_policy(policy, config)
         policy_obj.reset()
     runtime = RuntimeSystem(policy_obj, tracer=tracer, app=compiled.name)
-    l2 = PartitionedSharedCache(
+    l2 = make_shared_cache(
         config.l2_geometry,
         config.n_threads,
+        backend=config.cache_backend,
         enforce_partition=policy_obj.enforce_partition,
         targets=runtime.initial_targets(),
     )

@@ -13,14 +13,28 @@ from repro.sim.config import SystemConfig
 @pytest.fixture(autouse=True)
 def _reset_observability():
     """The tracer slot and metrics registry are process-wide; pin every
-    test to the disabled default and zeroed counters."""
-    from repro.obs import METRICS, set_tracer
+    test to the disabled default and zeroed counters.
 
+    The teardown runs in a ``finally`` so a test that raises with a
+    custom tracer installed cannot leak it into later tests, and the
+    entry assertion makes any leakage from *outside* this fixture (a
+    module-level ``set_tracer``, an exempt session fixture) fail the
+    first test it would have contaminated rather than a distant one.
+    """
+    from repro.obs import METRICS, NULL_TRACER, get_tracer, set_tracer
+
+    leaked = get_tracer()
     set_tracer(None)
     METRICS.reset()
-    yield
-    set_tracer(None)
-    METRICS.reset()
+    assert leaked is NULL_TRACER, (
+        f"tracer {leaked!r} leaked into this test from outside the reset fixture"
+    )
+    try:
+        yield
+    finally:
+        set_tracer(None)
+        METRICS.reset()
+        assert get_tracer() is NULL_TRACER
 
 
 @pytest.fixture

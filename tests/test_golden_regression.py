@@ -1,0 +1,80 @@
+"""Golden regression fixtures: frozen end-to-end simulation results.
+
+Three app x policy pairs run at the quick scale and their full
+``RunResult.to_dict()`` is compared against JSON checked into
+``tests/golden/``.  The differential suite proves the two backends agree
+with *each other*; this suite pins them both to a known-good history, so
+an optimisation that changes simulation semantics (even consistently
+across both backends) still fails loudly.
+
+When a change is *intended* to alter results, regenerate with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_regression.py
+
+and review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import SystemConfig
+from repro.sim.driver import run_application
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+#: Covers both kernel families (model-based/static-equal enforce the
+#: partition, shared is plain LRU) and three distinct workloads.
+CASES = (
+    ("swim", "model-based"),
+    ("art", "shared"),
+    ("equake", "static-equal"),
+)
+
+
+def _flatten(value, path="", out=None) -> dict:
+    """``{'a.b[2]': leaf}`` view of a nested dict — makes diffs readable."""
+    if out is None:
+        out = {}
+    if isinstance(value, dict):
+        for key in value:
+            _flatten(value[key], f"{path}.{key}" if path else str(key), out)
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            _flatten(item, f"{path}[{i}]", out)
+    else:
+        out[path] = value
+    return out
+
+
+@pytest.mark.parametrize(("app", "policy"), CASES, ids=[f"{a}-{p}" for a, p in CASES])
+def test_golden_result(app, policy):
+    result = run_application(app, policy, SystemConfig.quick()).to_dict()
+    fixture = GOLDEN_DIR / f"{app}__{policy}.json"
+    if REGEN:
+        fixture.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {fixture.name}")
+    assert fixture.exists(), (
+        f"missing fixture {fixture}; run with REPRO_REGEN_GOLDEN=1 to create it"
+    )
+    golden = json.loads(fixture.read_text())
+    if golden == result:
+        return
+    flat_golden, flat_now = _flatten(golden), _flatten(result)
+    lines = []
+    for key in sorted(set(flat_golden) | set(flat_now)):
+        old, new = flat_golden.get(key, "<absent>"), flat_now.get(key, "<absent>")
+        if old != new:
+            lines.append(f"  {key}: golden={old!r} now={new!r}")
+    preview = "\n".join(lines[:40])
+    more = f"\n  ... and {len(lines) - 40} more" if len(lines) > 40 else ""
+    pytest.fail(
+        f"{app}/{policy} drifted from golden fixture ({len(lines)} fields):\n"
+        f"{preview}{more}\n"
+        "If intended, regenerate with REPRO_REGEN_GOLDEN=1 and review the diff."
+    )
