@@ -24,9 +24,9 @@ Public surface:
   content-addressed result store (``--jobs`` / ``--cache-dir``).
 """
 
-# Defined before any subpackage import: repro.exec reads it during package
-# initialisation (the store namespaces its entries by version).
-__version__ = "1.3.0"
+# Defined before any subpackage import: repro.exec and repro.prep read it
+# during package initialisation (both stores namespace entries by version).
+__version__ = "1.4.0"
 
 from repro.cache import (
     CacheGeometry,
@@ -57,6 +57,7 @@ from repro.partition import (
     StaticPolicy,
     ThroughputOrientedPolicy,
 )
+from repro.prep import PrepStore, configure_prep, get_prep_store, set_prep_store
 from repro.sim import SystemConfig, prepare_program, run_application
 from repro.trace import WORKLOADS, ThreadBehavior, WorkloadProfile, get_workload, list_workloads
 
@@ -74,6 +75,7 @@ __all__ = [
     "POLICY_REGISTRY",
     "PartitionedSharedCache",
     "PartitioningPolicy",
+    "PrepStore",
     "PrivateCache",
     "ProcessPoolEngine",
     "ResultStore",
@@ -92,10 +94,13 @@ __all__ = [
     "WorkloadProfile",
     "__version__",
     "compile_program",
+    "configure_prep",
+    "get_prep_store",
     "get_workload",
     "list_workloads",
     "make_shared_cache",
     "prepare_program",
     "run_application",
     "run_sweep",
+    "set_prep_store",
 ]

@@ -52,6 +52,7 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.partition import POLICY_REGISTRY
+from repro.prep import configure_prep, get_prep_store
 from repro.sim.config import SystemConfig
 from repro.trace.workloads import list_workloads
 
@@ -107,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--cache-dir", default=None, metavar="DIR",
             help="persist simulation results in a content-addressed store at DIR",
+        )
+        p.add_argument(
+            "--prep-dir", default=None, metavar="DIR",
+            help="cache prepared programs (traces + compiled L2 streams) as "
+            "memory-mappable artifact bundles at DIR, shared across "
+            "processes and invocations",
         )
         p.add_argument(
             "--trace", default=None, metavar="PATH",
@@ -199,10 +206,12 @@ def _config(args: argparse.Namespace) -> SystemConfig:
 
 
 def _setup_execution(args: argparse.Namespace) -> None:
-    """Install the engine/store selected by ``--jobs`` / ``--cache-dir``."""
+    """Install the engine/store selected by ``--jobs`` / ``--cache-dir`` /
+    ``--prep-dir``."""
     engine = ProcessPoolEngine(args.jobs) if args.jobs > 1 else SerialEngine()
     store = ResultStore(args.cache_dir) if args.cache_dir else None
     configure(engine=engine, store=store)
+    configure_prep(args.prep_dir)
     reset_execution_stats()
 
 
@@ -225,7 +234,21 @@ def _report_execution(args: argparse.Namespace) -> None:
             f" store-misses={s['misses']} store-writes={s['writes']}"
             f" store-corrupt={s['corrupt']}"
         )
+    line += _prep_suffix()
     print(line, file=sys.stderr)
+
+
+def _prep_suffix() -> str:
+    """`` prep-hits=... ...`` fragment for verbose lines (empty when no
+    prep store is configured)."""
+    prep = get_prep_store()
+    if prep is None:
+        return ""
+    p = prep.stats()
+    return (
+        f" prep-hits={p['hits']} prep-misses={p['misses']}"
+        f" prep-writes={p['writes']} prep-corrupt={p['corrupt']}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -379,6 +402,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     f" store-misses={s['misses']} store-writes={s['writes']}"
                     f" store-corrupt={s['corrupt']}"
                 )
+            line += _prep_suffix()
             print(line, file=sys.stderr)
         return 0 if not result.failures else 1
 

@@ -27,6 +27,13 @@ Three refinements keep the models honest under a dynamic runtime:
   the end tangent keeps its slope, so the optimiser can *predict*
   improvement at way counts it has never tried; the next interval's
   observation corrects the model.  This is the exploration mechanism.
+* **Incremental refits** — an observation invalidates only *its* thread's
+  fitted model (an O(1) dirty mark on the existing knot cell), and a
+  dirty model is only *refit* when its post-aging/post-PAVA knots
+  actually changed: the fit inputs are fingerprinted, and an unchanged
+  fingerprint reuses the cached spline coefficients.  Since a fitted
+  model is a pure function of its knots, reuse is bit-identical to
+  refitting — pinned by the differential tests.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ import numpy as np
 from repro.mathx.isotonic import isotonic_nonincreasing
 from repro.mathx.pchip import PchipSpline1D
 from repro.mathx.spline import fit_cpi_model
+from repro.obs.metrics import METRICS
 
 __all__ = ["ThreadModelBank"]
 
@@ -68,10 +76,22 @@ class ThreadModelBank:
         # _cells[t] maps ways -> (EWMA value, tick of last update).
         self._cells: list[dict[int, tuple[float, int]]] = [dict() for _ in range(n_threads)]
         self._ticks = [0] * n_threads
-        self._models: list | None = None
+        # Incremental-refit state: the last fitted callable per thread,
+        # the fingerprint of the knots it was fitted on, and a dirty
+        # mark set by observe().  points()/the fit are only re-evaluated
+        # for dirty threads, and the fit itself only when the
+        # fingerprint moved.
+        self._fitted: list = [None] * n_threads
+        self._fit_sig: list[tuple | None] = [None] * n_threads
+        self._dirty = [True] * n_threads
 
     def observe(self, thread: int, ways: int, value: float) -> None:
-        """Fold one interval's observation into the bank."""
+        """Fold one interval's observation into the bank.
+
+        O(1): one cell update plus a dirty mark on *this* thread's
+        model — other threads' fitted models stay valid (their knots
+        cannot change without their own ``observe``).
+        """
         if not 0 <= thread < self.n_threads:
             raise IndexError(f"thread {thread} out of range")
         if ways < 0:
@@ -85,7 +105,7 @@ class ThreadModelBank:
             cell[ways] = (float(value), self._ticks[thread])
         else:
             cell[ways] = (old[0] + self.alpha * (value - old[0]), self._ticks[thread])
-        self._models = None  # invalidate fitted models
+        self._dirty[thread] = True
 
     def n_distinct(self, thread: int) -> int:
         """Number of distinct way counts observed for ``thread`` (before
@@ -121,18 +141,28 @@ class ThreadModelBank:
         """Fitted model for one thread (callable: ways -> metric).
 
         Fitting is lazy per thread, so threads without observations only
-        raise when *their* model is requested.
+        raise when *their* model is requested.  A dirty thread whose
+        post-aging/PAVA knots are unchanged (e.g. an EWMA fixed point,
+        or repeated observations of a constant-CPI thread) reuses the
+        cached fit — bit-identical, since the fit is a pure function of
+        the knots.
         """
-        if self._models is None:
-            self._models = [None] * self.n_threads
-        if self._models[thread] is None:
-            self._models[thread] = self._fit(thread)
-        return self._models[thread]
-
-    def _fit(self, thread: int):
+        if not self._dirty[thread] and self._fitted[thread] is not None:
+            return self._fitted[thread]
         ways, vals = self.points(thread)
         if ways.size == 0:
             raise ValueError(f"no observations for thread {thread}")
+        sig = (ways.tobytes(), vals.tobytes())
+        if self._fitted[thread] is None or sig != self._fit_sig[thread]:
+            self._fitted[thread] = self._fit_points(ways, vals)
+            self._fit_sig[thread] = sig
+            METRICS.counter("models.fits").inc()
+        else:
+            METRICS.counter("models.refits_avoided").inc()
+        self._dirty[thread] = False
+        return self._fitted[thread]
+
+    def _fit_points(self, ways: np.ndarray, vals: np.ndarray):
         if self.monotone and ways.size >= 3:
             # The knots are non-increasing (PAVA in points()); a monotone
             # interpolant keeps the curve non-increasing *between* knots
@@ -167,4 +197,6 @@ class ThreadModelBank:
     def reset(self) -> None:
         self._cells = [dict() for _ in range(self.n_threads)]
         self._ticks = [0] * self.n_threads
-        self._models = None
+        self._fitted = [None] * self.n_threads
+        self._fit_sig = [None] * self.n_threads
+        self._dirty = [True] * self.n_threads

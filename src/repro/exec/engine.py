@@ -15,6 +15,7 @@ it to workers.
 
 from __future__ import annotations
 
+import random
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
@@ -49,7 +50,16 @@ class ExecutionEngine(ABC):
         most ``max_retries + 1`` times).
     backoff_s:
         Base delay before a retry round; doubles each round (exponential
-        backoff).  Zero disables the sleep.
+        backoff), jittered to a uniform fraction in [0.5, 1.0] of the
+        nominal delay so concurrent engines sharing a resource do not
+        retry in lockstep.  Zero disables the sleep.
+    backoff_cap_s:
+        Upper bound on any *single* backoff sleep — unbounded doubling
+        would otherwise stall a whole sweep behind one flaky job.
+    backoff_budget_s:
+        Upper bound on the *total* time one ``run()`` batch may spend
+        sleeping between retries; once spent, remaining retries proceed
+        immediately.
     job_runner:
         Callable ``spec -> RunResult``; defaults to :func:`execute_job`.
     """
@@ -61,15 +71,22 @@ class ExecutionEngine(ABC):
         *,
         max_retries: int = 2,
         backoff_s: float = 0.1,
+        backoff_cap_s: float = 2.0,
+        backoff_budget_s: float = 10.0,
         job_runner: Callable[[JobSpec], RunResult] | None = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if backoff_s < 0:
             raise ValueError("backoff_s must be >= 0")
+        if backoff_cap_s < 0 or backoff_budget_s < 0:
+            raise ValueError("backoff_cap_s and backoff_budget_s must be >= 0")
         self.max_retries = max_retries
         self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.backoff_budget_s = backoff_budget_s
         self.job_runner = job_runner or execute_job
+        self._backoff_left = backoff_budget_s
 
     @property
     def max_attempts(self) -> int:
@@ -82,9 +99,30 @@ class ExecutionEngine(ABC):
     def run_one(self, spec: JobSpec) -> JobOutcome:
         return self.run([spec])[0]
 
-    def _backoff_sleep(self, failed_rounds: int) -> None:
-        if self.backoff_s > 0:
-            time.sleep(self.backoff_s * (2 ** (failed_rounds - 1)))
+    def _reset_backoff(self) -> None:
+        """Refill the backoff budget; called at the start of each batch."""
+        self._backoff_left = self.backoff_budget_s
+
+    def _backoff_sleep(self, failed_rounds: int) -> float:
+        """Jittered, capped exponential backoff; returns seconds slept.
+
+        The nominal delay doubles per failed round but is clamped to
+        ``backoff_cap_s`` per sleep and to the batch's remaining
+        ``backoff_budget_s`` overall, then scaled by a uniform jitter in
+        [0.5, 1.0] — so one flaky job can delay a sweep by at most the
+        budget, and never serialises concurrent retriers on a beat.
+        """
+        if self.backoff_s <= 0 or self._backoff_left <= 0:
+            return 0.0
+        nominal = min(
+            self.backoff_s * (2 ** (failed_rounds - 1)),
+            self.backoff_cap_s,
+            self._backoff_left,
+        )
+        delay = nominal * (0.5 + 0.5 * random.random())
+        self._backoff_left -= delay
+        time.sleep(delay)
+        return delay
 
     def _execute_with_retry(
         self,
@@ -171,4 +209,5 @@ class SerialEngine(ExecutionEngine):
     name = "serial"
 
     def run(self, specs: Sequence[JobSpec]) -> list[JobOutcome]:
+        self._reset_backoff()
         return [self._execute_with_retry(spec) for spec in specs]

@@ -23,6 +23,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import weakref
 from collections.abc import Callable, Sequence
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -46,6 +47,25 @@ def _timed_call(job_runner: Callable[[JobSpec], RunResult], spec: JobSpec):
     return result, time.perf_counter() - start
 
 
+def _worker_init(prep_root, prep_version: str, prep_lru: int) -> None:
+    """Pool-worker initializer: point the worker at the shared prep store.
+
+    Runs once per worker process, so every job the worker executes opens
+    prepared-program artifacts via ``np.load(mmap_mode="r")`` — the same
+    on-disk pages as its siblings, shared through the OS page cache
+    rather than regenerated per process.
+    """
+    from repro.prep import configure_prep
+
+    configure_prep(prep_root, version=prep_version, lru_limit=prep_lru)
+
+
+def _shutdown_pool(holder: list) -> None:
+    """Finalizer for an engine's warm pool (must not reference the engine)."""
+    while holder:
+        holder.pop().shutdown(wait=False, cancel_futures=True)
+
+
 class ProcessPoolEngine(ExecutionEngine):
     """Executes jobs across worker processes.
 
@@ -58,9 +78,12 @@ class ProcessPoolEngine(ExecutionEngine):
         ``get_result``-style single lookups pay no fork cost.
     chunk_size:
         Jobs submitted to the pool per wave, bounding the backlog of
-        pickled results held in flight.  Workers are long-lived across
-        chunks, so per-process memo caches (e.g. the compiled-program
-        cache) warm up across a sweep.
+        pickled results held in flight.  Defaults to ``2 × jobs`` so
+        every worker has a next job queued while the engine drains the
+        current wave.  Workers are long-lived across chunks *and* across
+        ``run()`` invocations (the pool stays warm until :meth:`close`),
+        so per-process caches — the compiled-program memo, mmapped prep
+        artifacts — amortise over a whole sweep.
     timeout_s:
         Per-job cap on the wall-clock wait for that job's result once the
         engine starts waiting on it; ``None`` waits forever.
@@ -74,29 +97,88 @@ class ProcessPoolEngine(ExecutionEngine):
         self,
         jobs: int | None = None,
         *,
-        chunk_size: int = 8,
+        chunk_size: int | None = None,
         timeout_s: float | None = None,
         max_retries: int = 2,
         backoff_s: float = 0.1,
+        backoff_cap_s: float = 2.0,
+        backoff_budget_s: float = 10.0,
         job_runner: Callable[[JobSpec], RunResult] | None = None,
         mp_context=None,
     ) -> None:
-        super().__init__(max_retries=max_retries, backoff_s=backoff_s, job_runner=job_runner)
+        super().__init__(
+            max_retries=max_retries,
+            backoff_s=backoff_s,
+            backoff_cap_s=backoff_cap_s,
+            backoff_budget_s=backoff_budget_s,
+            job_runner=job_runner,
+        )
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
-        if chunk_size < 1:
+        if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
-        self.chunk_size = chunk_size
+        self.chunk_size = chunk_size if chunk_size is not None else 2 * self.jobs
         self.timeout_s = timeout_s
         self.mp_context = mp_context or multiprocessing.get_context()
+        # Warm pool: [executor] while one is alive.  The finalizer closes
+        # a leaked pool when the engine is garbage-collected; tests and
+        # the CLI should call close() (or use the engine as a context
+        # manager) for deterministic teardown.
+        self._pool_holder: list[ProcessPoolExecutor] = []
+        self._pool_prep_key: tuple | None = None
+        self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool_holder)
+
+    @staticmethod
+    def _prep_key() -> tuple | None:
+        """Identity of the active prep-store config (pool rebuild trigger)."""
+        from repro.prep import get_prep_store
+
+        store = get_prep_store()
+        if store is None:
+            return None
+        return (str(store.root), store.version, store.lru_limit)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """Return the warm pool, (re)building it on first use or when the
+        prep-store configuration changed since it was forked."""
+        key = self._prep_key()
+        if self._pool_holder and self._pool_prep_key != key:
+            self._discard_pool(wait=True)
+        if not self._pool_holder:
+            kwargs = {}
+            if key is not None:
+                kwargs = {"initializer": _worker_init, "initargs": key}
+            self._pool_holder.append(
+                ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=self.mp_context, **kwargs
+                )
+            )
+            self._pool_prep_key = key
+        return self._pool_holder[0]
+
+    def _discard_pool(self, *, wait: bool) -> None:
+        while self._pool_holder:
+            self._pool_holder.pop().shutdown(wait=wait, cancel_futures=not wait)
+
+    def close(self) -> None:
+        """Shut the warm pool down (the engine stays usable; the next
+        ``run()`` forks a fresh pool)."""
+        self._discard_pool(wait=True)
+
+    def __enter__(self) -> "ProcessPoolEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(self, specs: Sequence[JobSpec]) -> list[JobOutcome]:
         specs = list(specs)
         if not specs:
             return []
+        self._reset_backoff()
         if self.jobs <= 1 or len(specs) == 1:
             # A pool buys nothing here; keep the exact serial semantics.
             return [self._execute_with_retry(spec, engine_name=self.name) for spec in specs]
@@ -198,13 +280,16 @@ class ProcessPoolEngine(ExecutionEngine):
         return outcomes  # type: ignore[return-value]
 
     def _pool_round(self, items: Sequence[_IndexedSpec]):
-        """One pass over ``items`` through a fresh pool.
+        """One pass over ``items`` through the warm pool.
 
         Returns ``(successes, failures, remainder, degrade)`` where
         ``successes`` is ``(index, result, duration)`` triples, ``failures``
         is ``(index, error)`` pairs that consumed an attempt, ``remainder``
         holds never-dispatched items, and ``degrade`` asks the caller to
-        finish everything unfinished in-process.
+        finish everything unfinished in-process.  The pool survives the
+        round unless it was abandoned (wedged on a timed-out job, or
+        broken by a worker death) — then it is discarded and the next
+        round starts fresh.
         """
         successes: list[tuple[int, RunResult, float]] = []
         failures: list[tuple[int, str]] = []
@@ -212,7 +297,7 @@ class ProcessPoolEngine(ExecutionEngine):
         abandoned = False  # a wedged/broken pool must not be rejoined
         degrade = False
         try:
-            executor = ProcessPoolExecutor(max_workers=self.jobs, mp_context=self.mp_context)
+            executor = self._ensure_pool()
         except Exception:  # cannot even build a pool: run everything serially
             return [], [], list(items), True
 
@@ -258,5 +343,6 @@ class ProcessPoolEngine(ExecutionEngine):
                     except Exception as exc:  # noqa: BLE001 — job failure is data
                         failures.append((idx, f"{type(exc).__name__}: {exc}"))
         finally:
-            executor.shutdown(wait=not abandoned, cancel_futures=abandoned)
+            if abandoned:
+                self._discard_pool(wait=False)
         return successes, failures, remainder, degrade

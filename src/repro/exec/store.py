@@ -98,7 +98,16 @@ class ResultStore:
 
     @METRICS.timed("store.put")
     def put(self, spec: JobSpec, result: RunResult) -> Path:
-        """Persist ``result`` under ``spec``'s digest (atomic publish)."""
+        """Persist ``result`` under ``spec``'s digest (atomic publish).
+
+        Safe under concurrent writers of the same key: every writer
+        stages into its *own* ``mkstemp`` file (a dot-prefixed name no
+        reader globs) and ``os.replace``-s it over the final path, so
+        the entry atomically holds one writer's complete payload —
+        identical bytes whoever wins.  If another process ``clear()``-s
+        the shard between staging and publish, the rename is retried
+        once after recreating the directory.
+        """
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -107,11 +116,22 @@ class ResultStore:
             "digest": spec.digest,
             "result": result.to_dict(),
         }
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".put-", suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, separators=(",", ":"))
-            os.replace(tmp_name, path)
+            try:
+                os.replace(tmp_name, path)
+            except FileNotFoundError:
+                # The shard directory vanished (concurrent clear/rmtree);
+                # the staged payload is gone with it, so restage.
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd2, tmp_name = tempfile.mkstemp(
+                    dir=path.parent, prefix=".put-", suffix=".tmp"
+                )
+                with os.fdopen(fd2, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, separators=(",", ":"))
+                os.replace(tmp_name, path)
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -131,13 +151,22 @@ class ResultStore:
         return sum(1 for _ in self.version_dir.glob("*/*.json"))
 
     def clear(self) -> int:
-        """Delete every entry for the current version; returns the count."""
+        """Delete every entry for the current version; returns the count.
+
+        Also sweeps staging files abandoned by writers that died mid-put
+        (they are invisible to readers but would otherwise accumulate).
+        """
         removed = 0
         if self.version_dir.is_dir():
             for entry in self.version_dir.glob("*/*.json"):
                 try:
                     entry.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for stale in self.version_dir.glob("*/.put-*.tmp"):
+                try:
+                    stale.unlink()
                 except OSError:
                     pass
         return removed

@@ -1,0 +1,291 @@
+"""Content-addressed, on-disk prepared-program artifact store.
+
+A *bundle* is a directory of memory-mappable ``.npy`` arrays plus a
+``meta.json`` manifest, addressed by the SHA-256 of the canonical JSON of
+its key (the same content-addressing discipline as
+:class:`repro.exec.store.ResultStore`)::
+
+    <root>/v<repro version>/<digest[:2]>/<digest>/
+        meta.json
+        <array>.npy ...
+
+Three rules make the store safe to share between processes (a sweep's
+worker pool all read and write the same root concurrently):
+
+* **atomic publish** — a bundle is staged in a hidden temporary directory
+  inside its shard and ``os.rename``-d into place; a reader never sees a
+  partial bundle, and when two writers race the loser simply discards its
+  staging directory (the bytes are identical by construction);
+* **invalidation by version** — bundles live under ``v<version>`` and
+  embed both the version and the full key, so a ``repro.__version__``
+  bump orphans the namespace wholesale and a key collision can never
+  alias distinct preparations;
+* **corruption recovery** — an unreadable, mis-keyed or truncated bundle
+  is deleted and reported as a miss (``prep.corrupt``), never an error:
+  the worst case is one regeneration.
+
+Arrays are opened with ``np.load(mmap_mode="r")``: the OS page cache
+backs every mapping, so worker processes replaying the same program share
+the clean pages instead of each materialising a private copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import get_tracer
+
+__all__ = [
+    "PrepBundle",
+    "PrepStore",
+    "configure_prep",
+    "get_prep_store",
+    "key_digest",
+    "set_prep_store",
+]
+
+DEFAULT_LRU_LIMIT = 8
+_META_NAME = "meta.json"
+
+
+def key_digest(key: dict) -> str:
+    """SHA-256 of the canonical JSON form of a bundle key."""
+    canonical = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class PrepBundle:
+    """One materialised artifact bundle: mmapped arrays plus its manifest."""
+
+    __slots__ = ("digest", "meta", "arrays", "nbytes")
+
+    def __init__(self, digest: str, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        self.digest = digest
+        self.meta = meta
+        self.arrays = arrays
+        self.nbytes = int(sum(a.nbytes for a in arrays.values()))
+
+
+class PrepStore:
+    """On-disk cache of prepared-program bundles with an in-process LRU.
+
+    The LRU sits in front of the filesystem so that replaying the same
+    program under many policies (the shape of every policy-comparison
+    experiment) maps each bundle once per process, not once per job.
+    Counters (``hits``, ``misses``, ``writes``, ``corrupt``, ``races``)
+    accumulate over the store's lifetime; the CLI surfaces them under
+    ``-v``.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        version: str | None = None,
+        lru_limit: int = DEFAULT_LRU_LIMIT,
+    ) -> None:
+        if lru_limit < 1:
+            raise ValueError("lru_limit must be >= 1")
+        self.root = Path(root)
+        self.version = version if version is not None else repro.__version__
+        self.lru_limit = lru_limit
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+        self.races = 0
+        self._lru: OrderedDict[str, PrepBundle] = OrderedDict()
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    def path_for(self, key: dict) -> Path:
+        digest = key_digest(key)
+        return self.version_dir / digest[:2] / digest
+
+    def get(self, key: dict) -> PrepBundle | None:
+        """Fetch the bundle for ``key``, or None on miss.
+
+        A corrupt bundle (bad manifest, wrong version, key mismatch,
+        missing or mis-shaped array) is deleted and counted in
+        ``corrupt`` as well as ``misses``.
+        """
+        digest = key_digest(key)
+        cached = self._lru.get(digest)
+        if cached is not None:
+            self._lru.move_to_end(digest)
+            self._hit()
+            return cached
+        path = self.version_dir / digest[:2] / digest
+        try:
+            with (path / _META_NAME).open("r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except (OSError, json.JSONDecodeError):
+            return self._evict_corrupt(path)
+        try:
+            if meta["version"] != self.version or meta["key"] != key:
+                return self._evict_corrupt(path)
+            bundle = self._materialize(digest, path, meta)
+        except Exception:  # noqa: BLE001 — any malformed bundle is corruption
+            return self._evict_corrupt(path)
+        self._remember(digest, bundle)
+        self._hit()
+        METRICS.counter("prep.bytes_mapped").inc(bundle.nbytes)
+        return bundle
+
+    def _materialize(self, digest: str, path: Path, meta: dict) -> PrepBundle:
+        """mmap every array the manifest lists, validating dtype/shape."""
+        with get_tracer().span("prep.materialize"), METRICS.span("prep.materialize"):
+            arrays: dict[str, np.ndarray] = {}
+            for name, spec in meta["arrays"].items():
+                arr = np.load(path / f"{name}.npy", mmap_mode="r", allow_pickle=False)
+                if str(arr.dtype) != spec["dtype"] or list(arr.shape) != spec["shape"]:
+                    raise ValueError(f"array {name!r} does not match its manifest")
+                arrays[name] = arr
+        return PrepBundle(digest, meta, arrays)
+
+    def put(self, key: dict, arrays: dict[str, np.ndarray], extra: dict | None = None) -> Path:
+        """Publish a bundle atomically; racing writers are benign.
+
+        The bundle is staged in a hidden directory inside the shard and
+        renamed into place.  If another process published the same digest
+        first, the staging directory is discarded and the existing bundle
+        (identical bytes, by content-addressing) wins.
+        """
+        digest = key_digest(key)
+        path = self.version_dir / digest[:2] / digest
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "version": self.version,
+            "key": key,
+            "digest": digest,
+            "arrays": {
+                name: {"dtype": str(a.dtype), "shape": list(a.shape)}
+                for name, a in arrays.items()
+            },
+            **(extra or {}),
+        }
+        tmp = tempfile.mkdtemp(dir=path.parent, prefix=f".stage-{digest[:8]}-")
+        try:
+            for name, a in arrays.items():
+                np.save(os.path.join(tmp, f"{name}.npy"), np.ascontiguousarray(a))
+            with open(os.path.join(tmp, _META_NAME), "w", encoding="utf-8") as fh:
+                json.dump(meta, fh, separators=(",", ":"))
+            os.rename(tmp, path)
+        except OSError:
+            # Renaming onto an existing non-empty directory fails — someone
+            # else published this digest between our existence check and the
+            # rename.  Their bytes are ours; stand down.
+            shutil.rmtree(tmp, ignore_errors=True)
+            if not (path / _META_NAME).is_file():
+                raise
+            self.races += 1
+            return path
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        self.writes += 1
+        METRICS.counter("prep.writes").inc()
+        return path
+
+    def __contains__(self, key: dict) -> bool:
+        return (self.path_for(key) / _META_NAME).is_file()
+
+    def __len__(self) -> int:
+        """Number of bundles stored for the current version."""
+        if not self.version_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.version_dir.glob(f"*/*/{_META_NAME}"))
+
+    def clear(self) -> int:
+        """Delete every bundle for the current version (plus abandoned
+        staging directories); returns the bundle count removed."""
+        removed = 0
+        if not self.version_dir.is_dir():
+            return 0
+        for shard in self.version_dir.iterdir():
+            if not shard.is_dir():
+                continue
+            for entry in shard.iterdir():
+                is_bundle = not entry.name.startswith(".")
+                shutil.rmtree(entry, ignore_errors=True)
+                removed += is_bundle
+        self._lru.clear()
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+            "races": self.races,
+        }
+
+    def _remember(self, digest: str, bundle: PrepBundle) -> None:
+        self._lru[digest] = bundle
+        self._lru.move_to_end(digest)
+        while len(self._lru) > self.lru_limit:
+            self._lru.popitem(last=False)
+
+    def _hit(self) -> None:
+        self.hits += 1
+        METRICS.counter("prep.hit").inc()
+
+    def _miss(self) -> None:
+        self.misses += 1
+        METRICS.counter("prep.miss").inc()
+
+    def _evict_corrupt(self, path: Path) -> None:
+        self.corrupt += 1
+        METRICS.counter("prep.corrupt").inc()
+        self._miss()
+        shutil.rmtree(path, ignore_errors=True)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Process-wide active store (the CLI and pool workers configure this).
+# ----------------------------------------------------------------------
+
+_ACTIVE: PrepStore | None = None
+
+
+def get_prep_store() -> PrepStore | None:
+    """The process-wide prep store, or None when prep caching is off."""
+    return _ACTIVE
+
+
+def set_prep_store(store: PrepStore | None) -> PrepStore | None:
+    """Install ``store`` as the process-wide prep store; returns the
+    previous one (tests restore it)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = store
+    return previous
+
+
+def configure_prep(
+    root: str | Path | None,
+    *,
+    version: str | None = None,
+    lru_limit: int = DEFAULT_LRU_LIMIT,
+) -> PrepStore | None:
+    """Point the process-wide store at ``root`` (None disables caching)."""
+    store = PrepStore(root, version=version, lru_limit=lru_limit) if root else None
+    set_prep_store(store)
+    return store

@@ -37,6 +37,11 @@ def build_program(
 
     Determinism: a fixed ``seed`` yields an identical program, so different
     partitioning policies are compared on byte-identical traces.
+
+    When a :mod:`repro.prep` store is configured, generated traces are
+    published as content-addressed bundles and later builds of the same
+    parameters reconstruct the program from mmapped arrays instead of
+    regenerating — value-identical by the determinism above.
     """
     if n_intervals < 1 or sections_per_interval < 1:
         raise ValueError("n_intervals and sections_per_interval must be >= 1")
@@ -44,6 +49,25 @@ def build_program(
         raise ValueError("interval_instructions must cover at least one instruction per section")
     if not 0.0 <= work_jitter < 1.0:
         raise ValueError("work_jitter must be in [0, 1)")
+
+    from repro.prep import get_prep_store, program_from_bundle, trace_bundle, trace_key
+
+    store = get_prep_store()
+    key = None
+    if store is not None:
+        key = trace_key(
+            profile,
+            n_threads=n_threads,
+            n_intervals=n_intervals,
+            interval_instructions=interval_instructions,
+            sections_per_interval=sections_per_interval,
+            seed=seed,
+            line_bytes=line_bytes,
+            work_jitter=work_jitter,
+        )
+        bundle = store.get(key)
+        if bundle is not None:
+            return program_from_bundle(bundle)
 
     layout = AddressLayout(line_bytes=line_bytes)
     behaviors = profile.behaviors_for(n_threads)
@@ -66,7 +90,7 @@ def build_program(
                 works.append(ThreadWork(addrs=addrs, gaps=gaps))
             sections.append(Section(works=tuple(works)))
 
-    return SyntheticProgram(
+    program = SyntheticProgram(
         name=profile.name,
         sections=tuple(sections),
         meta={
@@ -78,3 +102,7 @@ def build_program(
             "n_threads": n_threads,
         },
     )
+    if store is not None:
+        arrays, meta = trace_bundle(program)
+        store.put(key, arrays, meta)
+    return program

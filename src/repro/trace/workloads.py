@@ -42,6 +42,7 @@ binaries; DESIGN.md section 2 documents this substitution.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -77,7 +78,10 @@ class WorkloadProfile:
             raise ValueError("n_threads must be >= 1")
         base = self.base_behaviors
         out: list[ThreadBehavior] = []
-        rng = np.random.default_rng(abs(hash(self.name)) % (2**32))
+        # crc32, not hash(): str hashing is salted per process, and the
+        # perturbation seed must be identical across worker processes —
+        # content-addressed trace artifacts are shared between them.
+        rng = np.random.default_rng(zlib.crc32(self.name.encode("utf-8")))
         for t in range(n_threads):
             b = base[t % len(base)]
             if t < len(base):

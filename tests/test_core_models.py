@@ -128,3 +128,83 @@ class TestModels:
         bank.observe(0, 4, 1.0)
         bank.reset()
         assert bank.n_distinct(0) == 0
+
+
+class TestIncrementalRefit:
+    """Observations invalidate only their own thread's model, and a dirty
+    model whose knots did not actually change reuses the cached fit."""
+
+    def _metrics(self):
+        from repro.obs.metrics import METRICS
+
+        return METRICS
+
+    def test_clean_thread_returns_cached_object(self):
+        bank = ThreadModelBank(1)
+        bank.observe(0, 4, 8.0)
+        bank.observe(0, 8, 4.0)
+        assert bank.model(0) is bank.model(0)
+
+    def test_other_threads_models_survive_an_observation(self):
+        bank = ThreadModelBank(2)
+        for t in (0, 1):
+            bank.observe(t, 4, 8.0)
+            bank.observe(t, 8, 4.0)
+        m0, m1 = bank.model(0), bank.model(1)
+        bank.observe(0, 12, 2.0)
+        assert bank.model(1) is m1, "thread 1's fit must not be invalidated"
+        assert bank.model(0) is not m0, "thread 0's fit must be refit"
+
+    def test_unchanged_knots_skip_the_refit(self):
+        metrics = self._metrics()
+        bank = ThreadModelBank(1, alpha=1.0)
+        bank.observe(0, 4, 8.0)
+        bank.observe(0, 8, 4.0)
+        m = bank.model(0)
+        fits = metrics.counter("models.fits").value
+        # alpha=1 replaces the cell with the identical value: the thread is
+        # dirty but its knots are bit-identical, so the fit is reused.
+        bank.observe(0, 8, 4.0)
+        assert bank.model(0) is m
+        assert metrics.counter("models.fits").value == fits
+        assert metrics.counter("models.refits_avoided").value >= 1
+
+    def test_changed_knots_do_refit(self):
+        metrics = self._metrics()
+        bank = ThreadModelBank(1, alpha=1.0)
+        bank.observe(0, 4, 8.0)
+        before = metrics.counter("models.fits").value
+        bank.model(0)
+        bank.observe(0, 4, 6.0)
+        bank.model(0)
+        assert metrics.counter("models.fits").value == before + 2
+
+    def test_matches_a_fresh_bank_bit_for_bit(self):
+        """Interleaved observe/model calls must leave the bank predicting
+        exactly what a fresh bank fed the same history predicts."""
+        rng = np.random.default_rng(11)
+        history = [
+            (int(rng.integers(0, 3)), int(rng.integers(1, 12)), float(rng.uniform(0.5, 9.0)))
+            for _ in range(60)
+        ]
+        incremental = ThreadModelBank(3, alpha=0.5)
+        for i, (t, w, v) in enumerate(history):
+            incremental.observe(t, w, v)
+            if i % 3 == 0:  # interleave fits with observations
+                incremental.model(t)
+        fresh = ThreadModelBank(3, alpha=0.5)
+        for t, w, v in history:
+            fresh.observe(t, w, v)
+        query = [float(w) for w in range(1, 13)]
+        for t in range(3):
+            a = [incremental.model(t)(q) for q in query]
+            b = [fresh.model(t)(q) for q in query]
+            assert a == b, f"thread {t}: incremental refit diverged from scratch fit"
+
+    def test_reset_clears_fitted_state(self):
+        bank = ThreadModelBank(1)
+        bank.observe(0, 4, 8.0)
+        bank.model(0)
+        bank.reset()
+        with pytest.raises(ValueError):
+            bank.model(0)

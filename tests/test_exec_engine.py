@@ -178,6 +178,136 @@ class TestProcessPoolEngine:
             ProcessPoolEngine(2, timeout_s=0)
 
 
+class TestBackoff:
+    """The retry backoff must be jittered, capped per sleep, and bounded
+    per batch — a flaky job may not stall a sweep indefinitely."""
+
+    def _capture_sleeps(self, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.exec.engine.time.sleep", lambda s: sleeps.append(s)
+        )
+        return sleeps
+
+    def test_backoff_is_jittered_not_lockstep(self, monkeypatch):
+        sleeps = self._capture_sleeps(monkeypatch)
+        engine = SerialEngine(backoff_s=1.0, backoff_cap_s=100.0, backoff_budget_s=1000.0)
+        for _ in range(32):
+            engine._backoff_sleep(1)
+        # Every delay lands in [0.5, 1.0) x nominal, and they are not all
+        # the identical beat.
+        assert all(0.5 <= s < 1.0 for s in sleeps)
+        assert len(set(sleeps)) > 1
+
+    def test_backoff_doubles_then_caps(self, monkeypatch):
+        sleeps = self._capture_sleeps(monkeypatch)
+        monkeypatch.setattr("repro.exec.engine.random.random", lambda: 1.0)  # no jitter
+        engine = SerialEngine(backoff_s=0.1, backoff_cap_s=0.5, backoff_budget_s=1000.0)
+        for round_ in range(1, 7):
+            engine._backoff_sleep(round_)
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5, 0.5])
+
+    def test_backoff_budget_bounds_a_batch(self, monkeypatch):
+        sleeps = self._capture_sleeps(monkeypatch)
+        monkeypatch.setattr("repro.exec.engine.random.random", lambda: 1.0)
+        engine = SerialEngine(backoff_s=1.0, backoff_cap_s=10.0, backoff_budget_s=2.5)
+        total = sum(engine._backoff_sleep(r) for r in range(1, 20))
+        assert total == pytest.approx(2.5)
+        assert sum(sleeps) == pytest.approx(2.5)
+        # Once spent, further retries proceed immediately ...
+        assert engine._backoff_sleep(20) == 0.0
+        # ... and the next batch refills the budget.
+        engine._reset_backoff()
+        assert engine._backoff_sleep(1) > 0.0
+
+    def test_run_refills_budget_per_batch(self, monkeypatch, tiny_config):
+        self._capture_sleeps(monkeypatch)
+        runner = _FlakyRunner(n_failures=2)
+        engine = SerialEngine(
+            max_retries=2, backoff_s=1.0, backoff_cap_s=1.0, backoff_budget_s=1.5,
+            job_runner=runner,
+        )
+        spec = JobSpec("ft", "shared", tiny_config)
+        assert engine.run([spec])[0].ok
+        assert engine._backoff_left < engine.backoff_budget_s
+        runner.n_failures = 0
+        engine.run([spec])
+        assert engine._backoff_left == engine.backoff_budget_s
+
+    def test_zero_backoff_never_sleeps(self, monkeypatch):
+        sleeps = self._capture_sleeps(monkeypatch)
+        engine = SerialEngine(backoff_s=0.0)
+        assert engine._backoff_sleep(3) == 0.0
+        assert sleeps == []
+
+    def test_invalid_backoff_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SerialEngine(backoff_cap_s=-1.0)
+        with pytest.raises(ValueError):
+            SerialEngine(backoff_budget_s=-1.0)
+
+
+class TestWarmPool:
+    def test_chunk_size_defaults_to_twice_jobs(self):
+        assert ProcessPoolEngine(3, job_runner=_echo_runner).chunk_size == 6
+        assert ProcessPoolEngine(3, chunk_size=4, job_runner=_echo_runner).chunk_size == 4
+
+    def test_pool_persists_across_runs(self, tiny_config):
+        jobs = specs_for(tiny_config, [("ft", "shared"), ("cg", "shared")])
+        with ProcessPoolEngine(2, job_runner=_echo_runner) as engine:
+            assert engine.run(jobs)  # forks the pool
+            first = engine._pool_holder[0]
+            assert engine.run(jobs)
+            assert engine._pool_holder[0] is first, "warm pool must be reused"
+            pids_before = {p.pid for p in first._processes.values()}
+            assert engine.run(jobs)
+            pids_after = {p.pid for p in engine._pool_holder[0]._processes.values()}
+            assert pids_before == pids_after, "workers must survive across run()s"
+        assert engine._pool_holder == []
+
+    def test_close_allows_reuse(self, tiny_config):
+        jobs = specs_for(tiny_config, [("ft", "shared"), ("cg", "shared")])
+        engine = ProcessPoolEngine(2, job_runner=_echo_runner)
+        assert all(o.ok for o in engine.run(jobs))
+        engine.close()
+        assert engine._pool_holder == []
+        assert all(o.ok for o in engine.run(jobs)), "a closed engine rebuilds its pool"
+        engine.close()
+
+    def test_pool_rebuilds_when_prep_config_changes(self, tmp_path, tiny_config):
+        from repro.prep import PrepStore, set_prep_store
+
+        jobs = specs_for(tiny_config, [("ft", "shared"), ("cg", "shared")])
+        previous = set_prep_store(None)
+        engine = ProcessPoolEngine(2, job_runner=_echo_runner)
+        try:
+            engine.run(jobs)
+            bare_pool = engine._pool_holder[0]
+            set_prep_store(PrepStore(tmp_path))
+            engine.run(jobs)
+            assert engine._pool_holder[0] is not bare_pool, (
+                "a prep-store change must re-fork workers with the new initializer"
+            )
+            rebuilt = engine._pool_holder[0]
+            engine.run(jobs)
+            assert engine._pool_holder[0] is rebuilt, "same config: pool stays warm"
+        finally:
+            engine.close()
+            set_prep_store(previous)
+
+    def test_abandoned_pool_is_replaced(self, tiny_config):
+        engine = ProcessPoolEngine(
+            2, timeout_s=0.2, max_retries=0, backoff_s=0.0, job_runner=_sleepy_runner
+        )
+        try:
+            jobs = specs_for(tiny_config, [("ft", "shared"), ("cg", "shared")])
+            outcomes = engine.run(jobs)
+            assert any(not o.ok for o in outcomes)
+            assert engine._pool_holder == [], "a wedged pool must not be rejoined"
+        finally:
+            engine.close()
+
+
 class TestExecuteJob:
     def test_default_runner_simulates(self, tiny_config):
         result = execute_job(JobSpec("ft", "shared", tiny_config))

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import multiprocessing
 
 from repro.exec.jobs import JobSpec
 from repro.exec.store import ResultStore
@@ -123,3 +124,85 @@ class TestResultStore:
         store.put(spec, run_application(spec.app, spec.policy, spec.config))
         stray = [p for p in tmp_path.rglob("*") if p.is_file() and p.suffix != ".json"]
         assert stray == []
+
+    def test_put_survives_concurrent_clear(self, tmp_path, tiny_config, monkeypatch):
+        """A clear() that rmtree-s the shard between staging and publish
+        must not lose the put: it restages and lands the entry."""
+        import os as _os
+        import shutil
+
+        store = ResultStore(tmp_path)
+        spec = spec_for(tiny_config)
+        result = run_application(spec.app, spec.policy, spec.config)
+        real_replace = _os.replace
+        state = {"fired": False}
+
+        def sabotaging_replace(src, dst):
+            if not state["fired"]:
+                state["fired"] = True
+                shutil.rmtree(store.path_for(spec).parent)
+                # The staged file went with the shard; this call raises
+                # FileNotFoundError and put() restages.
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.exec.store.os.replace", sabotaging_replace)
+        store.put(spec, result)
+        assert state["fired"]
+        assert store.get(spec) == result
+
+
+def _hammer_result_store(root, barrier, out) -> None:
+    config = SystemConfig(
+        n_threads=4,
+        interval_instructions=1_500,
+        n_intervals=5,
+        sections_per_interval=2,
+    )
+    spec = JobSpec("ft", "shared", config)
+    result = run_application(spec.app, spec.policy, spec.config)
+    store = ResultStore(root, version="race")
+    barrier.wait()  # maximise overlap: everyone publishes at once
+    store.put(spec, result)
+    loaded = store.get(spec)
+    out.put((loaded == result, store.stats()))
+
+
+class TestConcurrentWriters:
+    def test_eight_processes_hammer_one_key(self, tmp_path, tiny_config):
+        """Eight processes racing put() on one digest: exactly one valid
+        artifact survives, every reader sees a complete payload, and no
+        staging files leak."""
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(8)
+        out = ctx.Queue()
+        procs = [
+            ctx.Process(target=_hammer_result_store, args=(str(tmp_path), barrier, out))
+            for _ in range(8)
+        ]
+        for p in procs:
+            p.start()
+        results = [out.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        assert all(ok for ok, _ in results), "every process must read back a valid result"
+
+        store = ResultStore(tmp_path, version="race")
+        assert len(store) == 1, "a single artifact must survive the race"
+        spec = JobSpec(
+            "ft",
+            "shared",
+            SystemConfig(
+                n_threads=4,
+                interval_instructions=1_500,
+                n_intervals=5,
+                sections_per_interval=2,
+            ),
+        )
+        entry = store.path_for(spec)
+        assert entry.is_file()
+        payload = json.loads(entry.read_text(encoding="utf-8"))  # complete JSON
+        assert payload["digest"] == spec.digest
+        assert store.get(spec) is not None
+        stray = [p for p in tmp_path.rglob(".put-*")]
+        assert stray == [], "no staging files may leak"
