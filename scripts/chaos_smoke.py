@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Chaos smoke: SIGKILL a sweep mid-flight, resume it, compare aggregates.
+
+CI runs this as a single end-to-end proof of the crash-safety contract
+outside the pytest harness:
+
+1. run a small control sweep to completion (no journal) and keep its
+   resume-invariant aggregates;
+2. run the same grid with ``--journal`` and SIGKILL the process once at
+   least one cell is durably journaled (genuinely mid-flight);
+3. ``--resume`` the journal and check that (a) every journaled cell was
+   restored rather than recomputed and (b) the aggregates are
+   byte-identical to the control's.
+
+Prints ``resumed=<n>`` and ``aggregates-match=yes`` on success (CI greps
+for both); exits non-zero on any violation.
+
+Usage: PYTHONPATH=src python scripts/chaos_smoke.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+AGG_KEYS = (
+    "apps",
+    "policies",
+    "seeds",
+    "thread_counts",
+    "baseline",
+    "n_failures",
+    "baseline_missing",
+    "cells",
+    "mean_speedups",
+)
+
+
+def sweep_argv(jobs: int, journal: Path | None = None, resume: bool = False) -> list[str]:
+    argv = [
+        sys.executable, "-m", "repro", "sweep",
+        "--apps", "ft", "cg",
+        "--policies", "shared", "static-equal",
+        "--intervals", "30", "--interval-instructions", "8000",
+        "--jobs", str(jobs), "--json",
+    ]
+    if journal is not None:
+        argv += ["--journal", str(journal)]
+    if resume:
+        argv += ["--resume"]
+    return argv
+
+
+def journal_cells(path: Path) -> int:
+    try:
+        return path.read_text(encoding="utf-8").count('"kind":"cell"')
+    except OSError:
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args()
+
+    control = json.loads(
+        subprocess.run(
+            sweep_argv(args.jobs), capture_output=True, text=True, check=True, timeout=300
+        ).stdout
+    )
+
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        journal = Path(tmp) / "sweep.jsonl"
+        victim = subprocess.Popen(
+            sweep_argv(args.jobs, journal), stdout=subprocess.DEVNULL
+        )
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if journal_cells(journal) >= 2:
+                victim.send_signal(signal.SIGKILL)
+                break
+            if victim.poll() is not None:
+                break
+            time.sleep(0.005)
+        victim.wait(timeout=60)
+        if victim.returncode != -signal.SIGKILL:
+            print(
+                f"error: sweep finished (rc={victim.returncode}) before the "
+                "SIGKILL landed; the grid is too fast to kill mid-flight",
+                file=sys.stderr,
+            )
+            return 1
+        completed = journal_cells(journal)
+        print(f"killed mid-flight with {completed} cell(s) journaled")
+
+        resumed = json.loads(
+            subprocess.run(
+                sweep_argv(args.jobs, journal, resume=True),
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=300,
+            ).stdout
+        )
+
+    print(f"resumed={resumed['resumed']} simulated={resumed['simulated']}")
+    if resumed["resumed"] != completed:
+        print(
+            f"error: {completed} cells were journaled but only "
+            f"{resumed['resumed']} restored",
+            file=sys.stderr,
+        )
+        return 1
+    mismatched = [
+        key
+        for key in AGG_KEYS
+        if json.dumps(resumed[key], sort_keys=True) != json.dumps(control[key], sort_keys=True)
+    ]
+    if mismatched:
+        print(f"aggregates-match=no ({', '.join(mismatched)} diverged)", file=sys.stderr)
+        return 1
+    print("aggregates-match=yes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

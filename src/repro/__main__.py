@@ -30,9 +30,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+from pathlib import Path
 
-from repro.exec import ProcessPoolEngine, ResultStore, SerialEngine, run_sweep
+from repro.exec import (
+    FaultPlan,
+    JournalMismatchError,
+    ProcessPoolEngine,
+    ResultStore,
+    SerialEngine,
+    run_sweep,
+    set_fault_plan,
+)
 from repro.experiments import EXPERIMENTS, speedup_table
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
@@ -43,9 +53,11 @@ from repro.experiments.runner import (
 )
 from repro.obs import (
     METRICS,
+    InterruptEvent,
     JsonlTracer,
     MetricsEvent,
     RecordingTracer,
+    get_tracer,
     read_events,
     set_tracer,
     summarize,
@@ -76,6 +88,28 @@ def _positive_int(value: str) -> int:
 
 def _policy_name(value: str) -> str:
     return POLICY_ALIASES.get(value, value)
+
+
+def _fault_plan(value: str) -> FaultPlan:
+    """argparse type for ``--faults``: inline JSON, or a path to a JSON
+    file, describing ``{"seed": ..., "rules": [{"kind": ..., ...}]}``."""
+    try:
+        if value.lstrip().startswith("{"):
+            payload = json.loads(value)
+        else:
+            payload = json.loads(Path(value).read_text(encoding="utf-8"))
+        return FaultPlan.from_dict(payload)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(f"invalid fault plan: {exc}") from None
+
+
+class _Interrupted(BaseException):
+    """Raised by the sweep signal handlers; BaseException so an
+    ``except Exception`` in job code cannot swallow the stop request."""
+
+    def __init__(self, signum: int) -> None:
+        self.signum = signum
+        super().__init__(signal.Signals(signum).name)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--trace-format", default="jsonl", choices=("jsonl", "chrome"),
             help="trace file format: jsonl (default; `repro report` input) or "
             "chrome (trace_event JSON for Perfetto / chrome://tracing)",
+        )
+        p.add_argument(
+            "--faults", default=None, metavar="JSON", type=_fault_plan,
+            help="inject deterministic faults (chaos testing): inline JSON or a "
+            'file, e.g. \'{"seed": 7, "rules": [{"kind": "job-exception", '
+            '"rate": 0.3, "attempts": [1]}]}\'; kinds: delay, job-exception, '
+            "worker-death, artifact-corruption",
         )
         p.add_argument(
             "-v", "--verbose", action="store_true",
@@ -176,6 +217,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default=None,
         help="policy speedups are measured against (default: shared if swept)",
     )
+    p_sw.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal every completed cell to PATH (append-only JSONL, fsynced "
+        "per cell) so a crashed or interrupted sweep can be resumed",
+    )
+    p_sw.add_argument(
+        "--resume", action="store_true",
+        help="resume from --journal: restore cells it records as completed and "
+        "fan out only the remainder (requires --journal)",
+    )
     p_sw.add_argument("--json", action="store_true", help="emit JSON instead of ASCII")
     p_sw.add_argument("--intervals", type=int, default=50, help="execution intervals")
     p_sw.add_argument(
@@ -206,8 +257,9 @@ def _config(args: argparse.Namespace) -> SystemConfig:
 
 
 def _setup_execution(args: argparse.Namespace) -> None:
-    """Install the engine/store selected by ``--jobs`` / ``--cache-dir`` /
-    ``--prep-dir``."""
+    """Install the engine/store/fault-plan selected by ``--jobs`` /
+    ``--cache-dir`` / ``--prep-dir`` / ``--faults``."""
+    set_fault_plan(args.faults)  # before the engine: pool workers inherit it
     engine = ProcessPoolEngine(args.jobs) if args.jobs > 1 else SerialEngine()
     store = ResultStore(args.cache_dir) if args.cache_dir else None
     configure(engine=engine, store=store)
@@ -235,6 +287,7 @@ def _report_execution(args: argparse.Namespace) -> None:
             f" store-corrupt={s['corrupt']}"
         )
     line += _prep_suffix()
+    line += _crash_suffix()
     print(line, file=sys.stderr)
 
 
@@ -249,6 +302,24 @@ def _prep_suffix() -> str:
         f" prep-hits={p['hits']} prep-misses={p['misses']}"
         f" prep-writes={p['writes']} prep-corrupt={p['corrupt']}"
     )
+
+
+def _crash_suffix() -> str:
+    """`` degraded-to-serial=... faults-injected=...`` fragment for verbose
+    lines — only the counters that are non-zero, so the common healthy
+    run stays one short line."""
+    counters = METRICS.snapshot().get("counters", {})
+    parts = []
+    degraded = counters.get("exec.degraded_to_serial", 0)
+    if degraded:
+        parts.append(f" degraded-to-serial={degraded}")
+    faults = sum(v for k, v in counters.items() if k.startswith("faults.injected."))
+    if faults:
+        parts.append(f" faults-injected={faults}")
+    stale = counters.get("store.stale_swept", 0) + counters.get("prep.stale_swept", 0)
+    if stale:
+        parts.append(f" stale-swept={stale}")
+    return "".join(parts)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -353,27 +424,49 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "sweep":
-        apps = args.apps or list_workloads()
-        unknown = [a for a in apps if a not in list_workloads()]
-        if unknown:
-            print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
-            return 2
-        policies = args.policies or ["shared", "static-equal", "throughput", "model-based"]
-        baseline = args.baseline
-        if baseline is not None and baseline not in policies:
-            print(
-                f"baseline {baseline!r} is not among the swept policies: "
-                f"{', '.join(policies)}",
-                file=sys.stderr,
-            )
-            return 2
-        config = SystemConfig.default().with_(
-            n_intervals=args.intervals,
-            interval_instructions=args.interval_instructions,
-            cache_backend=args.cache_backend,
-        )
-        from repro.experiments.runner import current_engine, current_store
+        return _sweep_command(args)
 
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _sweep_command(args: argparse.Namespace) -> int:
+    apps = args.apps or list_workloads()
+    unknown = [a for a in apps if a not in list_workloads()]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    policies = args.policies or ["shared", "static-equal", "throughput", "model-based"]
+    baseline = args.baseline
+    if baseline is not None and baseline not in policies:
+        print(
+            f"baseline {baseline!r} is not among the swept policies: "
+            f"{', '.join(policies)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.journal:
+        print("--resume needs --journal PATH to resume from", file=sys.stderr)
+        return 2
+    config = SystemConfig.default().with_(
+        n_intervals=args.intervals,
+        interval_instructions=args.interval_instructions,
+        cache_backend=args.cache_backend,
+    )
+    from repro.experiments.runner import current_engine, current_store
+
+    # Interrupt protocol: SIGINT/SIGTERM stop the sweep *cleanly* — the
+    # journal already holds every completed cell (flushed per append), so
+    # the handlers only have to drain the warm pool, sweep staged temp
+    # dirs, and exit 130 leaving the journal ready for --resume.
+    def _stop(signum, frame):
+        raise _Interrupted(signum)
+
+    try:
+        old_int = signal.signal(signal.SIGINT, _stop)
+        old_term = signal.signal(signal.SIGTERM, _stop)
+    except ValueError:  # pragma: no cover — not in the main thread
+        old_int = old_term = None
+    try:
         result = run_sweep(
             apps,
             policies,
@@ -383,30 +476,73 @@ def _dispatch(args: argparse.Namespace) -> int:
             engine=current_engine(),
             store=current_store(),
             baseline=baseline,
+            journal=args.journal,
+            resume=args.resume,
         )
-        if args.json:
-            json.dump(result.to_dict(), sys.stdout, indent=2)
-            print()
-        else:
-            print(result.format())
-        if args.verbose:
-            # The sweep drives the engine/store itself, so report its own
-            # counters rather than the runner-module ones.
-            line = (
-                f"exec: engine={result.engine} jobs={args.jobs} "
-                f"simulated={result.simulated} store-hits={result.store_hits}"
-            )
-            if result.store_stats is not None:
-                s = result.store_stats
-                line += (
-                    f" store-misses={s['misses']} store-writes={s['writes']}"
-                    f" store-corrupt={s['corrupt']}"
-                )
-            line += _prep_suffix()
-            print(line, file=sys.stderr)
-        return 0 if not result.failures else 1
+    except JournalMismatchError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    except (_Interrupted, KeyboardInterrupt) as exc:
+        signame = exc.args[0] if isinstance(exc, _Interrupted) else "SIGINT"
+        return _interrupted_sweep(args, signame)
+    finally:
+        if old_int is not None:
+            signal.signal(signal.SIGINT, old_int)
+            signal.signal(signal.SIGTERM, old_term)
 
-    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+    if args.json:
+        json.dump(result.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        print(result.format())
+    if args.verbose:
+        # The sweep drives the engine/store itself, so report its own
+        # counters rather than the runner-module ones.
+        line = (
+            f"exec: engine={result.engine} jobs={args.jobs} "
+            f"simulated={result.simulated} store-hits={result.store_hits} "
+            f"resumed={result.resumed}"
+        )
+        if result.store_stats is not None:
+            s = result.store_stats
+            line += (
+                f" store-misses={s['misses']} store-writes={s['writes']}"
+                f" store-corrupt={s['corrupt']}"
+            )
+        line += _prep_suffix()
+        line += _crash_suffix()
+        print(line, file=sys.stderr)
+    return 0 if not result.failures else 1
+
+
+def _interrupted_sweep(args: argparse.Namespace, signame: str) -> int:
+    """Clean stop: drain the pool, sweep staged dirs, report, exit 130."""
+    from repro.exec.journal import SweepJournal
+    from repro.experiments.runner import current_engine, current_store
+
+    engine = current_engine()
+    if hasattr(engine, "close"):
+        engine.close()  # drain the warm pool (workers exit, nothing leaks)
+    # Our own writers are stopped, so staged temp dirs younger than any
+    # TTL are still orphans — sweep them with ttl 0.
+    for store in (current_store(), get_prep_store()):
+        if store is not None:
+            store.sweep_stale(0.0)
+    completed = 0
+    if args.journal and Path(args.journal).is_file():
+        _, entries, _ = SweepJournal.load(args.journal)
+        completed = sum(1 for e in entries.values() if e.ok)
+    METRICS.counter("exec.interrupted").inc()
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.emit(InterruptEvent(signal=signame, completed=completed))
+    hint = (
+        f"; {completed} completed cell(s) journaled — resume with --resume"
+        if args.journal
+        else " (no --journal: completed cells in this run are lost)"
+    )
+    print(f"sweep: interrupted by {signame}{hint}", file=sys.stderr)
+    return 130
 
 
 if __name__ == "__main__":

@@ -16,25 +16,48 @@ that makes those replays cheap:
   write-then-rename, invalidated by ``repro.__version__``).
 * :func:`run_sweep` — fan a grid of apps × policies × seeds ×
   thread-counts out over an engine and aggregate speedups.
+* :class:`SweepJournal` — append-only, fsynced record of completed sweep
+  cells; ``run_sweep(..., journal=..., resume=True)`` restores them
+  after a crash instead of recomputing.
+* :class:`FaultPlan` — deterministic, seeded fault injection (worker
+  death, job exceptions, artifact corruption, delays) threaded through
+  every engine and store behind a zero-overhead-when-disabled hook.
 
 See DESIGN.md §A (execution appendix) for the key scheme and the
-invalidation-by-version rule.
+invalidation-by-version rule, and §E for crash safety and fault
+injection.
 """
 
 from repro.exec.engine import ExecutionEngine, SerialEngine, execute_job
+from repro.exec.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    get_fault_plan,
+    set_fault_plan,
+)
 from repro.exec.jobs import JobOutcome, JobSpec
+from repro.exec.journal import JournalEntry, JournalMismatchError, SweepJournal
 from repro.exec.pool import ProcessPoolEngine
 from repro.exec.store import ResultStore
 from repro.exec.sweep import SweepResult, run_sweep
 
 __all__ = [
     "ExecutionEngine",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
     "JobOutcome",
     "JobSpec",
+    "JournalEntry",
+    "JournalMismatchError",
     "ProcessPoolEngine",
     "ResultStore",
     "SerialEngine",
+    "SweepJournal",
     "SweepResult",
     "execute_job",
+    "get_fault_plan",
     "run_sweep",
+    "set_fault_plan",
 ]

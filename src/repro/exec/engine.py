@@ -21,12 +21,15 @@ from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
 
 from repro.core.records import RunResult
+from repro.exec.faults import fire_job_faults, get_fault_plan
 from repro.exec.jobs import JobOutcome, JobSpec
 from repro.obs.events import JobEndEvent, JobStartEvent, RetryEvent
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import get_tracer
 
 __all__ = ["ExecutionEngine", "SerialEngine", "execute_job"]
+
+OnOutcome = Callable[[JobOutcome], None]
 
 
 def execute_job(spec: JobSpec) -> RunResult:
@@ -93,8 +96,17 @@ class ExecutionEngine(ABC):
         return self.max_retries + 1
 
     @abstractmethod
-    def run(self, specs: Sequence[JobSpec]) -> list[JobOutcome]:
-        """Execute every job, returning outcomes in input order."""
+    def run(
+        self, specs: Sequence[JobSpec], *, on_outcome: OnOutcome | None = None
+    ) -> list[JobOutcome]:
+        """Execute every job, returning outcomes in input order.
+
+        ``on_outcome`` is invoked once per job *as its outcome is
+        finalised* (success, or failure after the last retry) — the hook
+        crash-safe consumers (the sweep journal, incremental store
+        writes) use to persist completed work before the batch ends.
+        Callback order is completion order, not input order.
+        """
 
     def run_one(self, spec: JobSpec) -> JobOutcome:
         return self.run([spec])[0]
@@ -151,6 +163,8 @@ class ExecutionEngine(ABC):
             attempts += 1
             start = time.perf_counter()
             try:
+                if get_fault_plan() is not None:
+                    fire_job_faults(spec.label, attempts)
                 result = self.job_runner(spec)
             except Exception as exc:  # noqa: BLE001 — a job failure is data
                 error = f"{type(exc).__name__}: {exc}"
@@ -208,6 +222,14 @@ class SerialEngine(ExecutionEngine):
 
     name = "serial"
 
-    def run(self, specs: Sequence[JobSpec]) -> list[JobOutcome]:
+    def run(
+        self, specs: Sequence[JobSpec], *, on_outcome: OnOutcome | None = None
+    ) -> list[JobOutcome]:
         self._reset_backoff()
-        return [self._execute_with_retry(spec) for spec in specs]
+        outcomes = []
+        for spec in specs:
+            outcome = self._execute_with_retry(spec)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            outcomes.append(outcome)
+        return outcomes

@@ -1,0 +1,231 @@
+"""Crash-safe sweep journal: append-only JSONL of cell outcomes.
+
+A sweep that dies — worker OOM, SIGKILL, power loss — must not throw away
+completed cells.  The journal records every cell outcome *as it is
+finalised* (one JSON line per cell, flushed and fsynced per append), so
+after any crash the file holds exactly the work that finished.
+``repro sweep --resume`` replays it: completed cells are restored without
+recomputation and only the remainder is fanned back out.
+
+File format::
+
+    {"kind": "sweep_header", "version": ..., "grid_digest": ..., "grid": {...}}
+    {"kind": "cell", "key": <spec digest>, "app": ..., "policy": ..., ...}
+    ...
+
+Resume key semantics: a cell's ``key`` is its
+:attr:`repro.exec.jobs.JobSpec.digest` — the SHA-256 of the canonical
+JSON of ``(app, policy, config)``, the same content address the result
+store files the full RunResult under.  The header's ``grid_digest``
+content-addresses the whole grid (apps x policies x seeds x
+thread-counts, baseline, base config, ``repro.__version__``); a resume
+against a journal whose grid digest differs is refused
+(:class:`JournalMismatchError`) rather than silently mixing sweeps.
+
+Durability discipline mirrors the stores' atomic-publish rule, adapted to
+an append-only file: every record is one complete ``write()`` of a
+``\\n``-terminated line followed by flush + ``os.fsync``, so a reader
+(or a resume after SIGKILL) sees a prefix of whole records plus at most
+one torn tail line — which :func:`SweepJournal.load` drops (counted in
+``torn_lines``), costing at worst the one in-flight cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro
+from repro.obs.metrics import METRICS
+
+__all__ = ["JournalEntry", "JournalMismatchError", "SweepJournal", "grid_digest"]
+
+_HEADER_KIND = "sweep_header"
+_CELL_KIND = "cell"
+
+
+class JournalMismatchError(ValueError):
+    """The journal on disk was written by a different grid (or is not a
+    sweep journal at all) — resuming it would mix incompatible cells."""
+
+
+def grid_digest(grid_key: dict) -> str:
+    """SHA-256 of the canonical JSON of the grid identity."""
+    canonical = json.dumps(grid_key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled cell outcome (the durable form of a SweepCell)."""
+
+    key: str  # JobSpec.digest — the resume key
+    app: str
+    policy: str
+    seed: int
+    n_threads: int
+    total_cycles: float | None
+    source: str  # "store" | "run" (preserved across resume)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": _CELL_KIND,
+            "key": self.key,
+            "app": self.app,
+            "policy": self.policy,
+            "seed": self.seed,
+            "n_threads": self.n_threads,
+            "total_cycles": self.total_cycles,
+            "source": self.source,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JournalEntry":
+        return cls(
+            key=payload["key"],
+            app=payload["app"],
+            policy=payload["policy"],
+            seed=int(payload["seed"]),
+            n_threads=int(payload["n_threads"]),
+            total_cycles=payload["total_cycles"],
+            source=payload["source"],
+            error=payload.get("error"),
+        )
+
+
+class SweepJournal:
+    """Writer/reader for one sweep's journal file.
+
+    Use :meth:`begin` to start a fresh journal (truncates; writes the
+    header) or :meth:`resume` to reopen an existing one for appending
+    after validating its grid digest.  ``entries`` after ``resume`` maps
+    cell key -> :class:`JournalEntry`, last record winning, so a cell
+    re-run after an earlier failure is represented by its latest outcome.
+    """
+
+    def __init__(self, path: str | Path, grid_key: dict) -> None:
+        self.path = Path(path)
+        self.grid_key = grid_key
+        self.digest = grid_digest(grid_key)
+        self.entries: dict[str, JournalEntry] = {}
+        self.torn_lines = 0
+        self._fh = None
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def begin(cls, path: str | Path, grid_key: dict) -> "SweepJournal":
+        """Start a fresh journal at ``path`` (any prior content is gone)."""
+        journal = cls(path, grid_key)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal._fh = journal.path.open("w", encoding="utf-8")
+        journal._write_record(
+            {
+                "kind": _HEADER_KIND,
+                "version": repro.__version__,
+                "grid_digest": journal.digest,
+                "grid": grid_key,
+            }
+        )
+        return journal
+
+    @classmethod
+    def resume(cls, path: str | Path, grid_key: dict) -> "SweepJournal":
+        """Reopen ``path`` for appending, restoring completed entries.
+
+        A missing file degrades to :meth:`begin` (resuming a sweep that
+        never started is just starting it); a grid mismatch raises
+        :class:`JournalMismatchError`.
+        """
+        path = Path(path)
+        if not path.is_file():
+            return cls.begin(path, grid_key)
+        journal = cls(path, grid_key)
+        header, entries, torn = cls._read(path)
+        if header is None:
+            raise JournalMismatchError(f"{path} is not a sweep journal (no header)")
+        if header.get("grid_digest") != journal.digest:
+            raise JournalMismatchError(
+                f"{path} was written by a different sweep grid "
+                f"(journal {str(header.get('grid_digest'))[:12]}…, "
+                f"this sweep {journal.digest[:12]}…); refusing to mix them"
+            )
+        journal.entries = entries
+        journal.torn_lines = torn
+        journal._fh = path.open("a", encoding="utf-8")
+        # A crash mid-append can leave a torn, unterminated tail line; a
+        # bare append would weld the next record onto it (losing both).
+        # Terminate the tail so it becomes its own dropped line instead.
+        with path.open("rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() > 0:
+                fh.seek(-1, os.SEEK_END)
+                ends_with_newline = fh.read(1) == b"\n"
+        if not ends_with_newline:
+            journal._fh.write("\n")
+            journal._fh.flush()
+        return journal
+
+    @classmethod
+    def load(cls, path: str | Path) -> tuple[dict | None, dict[str, JournalEntry], int]:
+        """Read ``path`` without opening it for writing; returns
+        ``(header, entries_by_key, torn_lines)``."""
+        return cls._read(Path(path))
+
+    @staticmethod
+    def _read(path: Path) -> tuple[dict | None, dict[str, JournalEntry], int]:
+        header: dict | None = None
+        entries: dict[str, JournalEntry] = {}
+        torn = 0
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    kind = record["kind"]
+                    if kind == _HEADER_KIND and header is None:
+                        header = record
+                    elif kind == _CELL_KIND:
+                        entry = JournalEntry.from_dict(record)
+                        entries[entry.key] = entry
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    # A torn record (crash mid-append) costs its one cell.
+                    torn += 1
+        return header, entries, torn
+
+    # -- writing --------------------------------------------------------
+
+    def append(self, entry: JournalEntry) -> None:
+        """Durably record one cell outcome (write + flush + fsync)."""
+        if self._fh is None:
+            raise ValueError("journal is closed")
+        self.entries[entry.key] = entry
+        self._write_record(entry.to_dict())
+        METRICS.counter("sweep.journal.cells").inc()
+
+    def _write_record(self, payload: dict) -> None:
+        self._fh.write(json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 import time
 import weakref
 from collections.abc import Callable, Sequence
@@ -29,9 +30,16 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from repro.core.records import RunResult
-from repro.exec.engine import ExecutionEngine
+from repro.exec.engine import ExecutionEngine, OnOutcome
+from repro.exec.faults import (
+    FaultPlan,
+    announce_faults,
+    fire_job_faults,
+    get_fault_plan,
+    set_fault_plan,
+)
 from repro.exec.jobs import JobOutcome, JobSpec
-from repro.obs.events import JobEndEvent, JobStartEvent, RetryEvent
+from repro.obs.events import EngineDegradedEvent, JobEndEvent, JobStartEvent, RetryEvent
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import get_tracer
 
@@ -40,24 +48,37 @@ __all__ = ["ProcessPoolEngine"]
 _IndexedSpec = tuple[int, JobSpec]
 
 
-def _timed_call(job_runner: Callable[[JobSpec], RunResult], spec: JobSpec):
-    """Worker-side wrapper: run one job and report its wall-clock cost."""
+def _timed_call(job_runner: Callable[[JobSpec], RunResult], spec: JobSpec, attempt: int):
+    """Worker-side wrapper: run one job and report its wall-clock cost.
+
+    Fault injectors execute here (the worker inherited the plan through
+    the pool initializer) but are *announced* by the parent — the
+    worker's tracer and metrics are invisible to it, and the plan is
+    deterministic in ``(job_key, attempt)``, so both sides agree on what
+    fires without any cross-process signalling.
+    """
+    if get_fault_plan() is not None:
+        fire_job_faults(spec.label, attempt, announce=False)
     start = time.perf_counter()
     result = job_runner(spec)
     return result, time.perf_counter() - start
 
 
-def _worker_init(prep_root, prep_version: str, prep_lru: int) -> None:
-    """Pool-worker initializer: point the worker at the shared prep store.
+def _worker_init(prep_key, fault_plan: FaultPlan | None) -> None:
+    """Pool-worker initializer: install the shared prep store and the
+    active fault plan.
 
-    Runs once per worker process, so every job the worker executes opens
-    prepared-program artifacts via ``np.load(mmap_mode="r")`` — the same
-    on-disk pages as its siblings, shared through the OS page cache
-    rather than regenerated per process.
+    The prep store runs once per worker process, so every job the worker
+    executes opens prepared-program artifacts via
+    ``np.load(mmap_mode="r")`` — the same on-disk pages as its siblings,
+    shared through the OS page cache rather than regenerated per process.
     """
-    from repro.prep import configure_prep
+    if prep_key is not None:
+        from repro.prep import configure_prep
 
-    configure_prep(prep_root, version=prep_version, lru_limit=prep_lru)
+        prep_root, prep_version, prep_lru = prep_key
+        configure_prep(prep_root, version=prep_version, lru_limit=prep_lru)
+    set_fault_plan(fault_plan)
 
 
 def _shutdown_pool(holder: list) -> None:
@@ -130,6 +151,9 @@ class ProcessPoolEngine(ExecutionEngine):
         self._pool_holder: list[ProcessPoolExecutor] = []
         self._pool_prep_key: tuple | None = None
         self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool_holder)
+        # Every degradation to serial, in order — surfaced by the CLI's
+        # -v line and asserted on by tests; never reset implicitly.
+        self.degraded_reasons: list[str] = []
 
     @staticmethod
     def _prep_key() -> tuple | None:
@@ -143,17 +167,18 @@ class ProcessPoolEngine(ExecutionEngine):
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         """Return the warm pool, (re)building it on first use or when the
-        prep-store configuration changed since it was forked."""
-        key = self._prep_key()
+        prep-store / fault-plan configuration changed since it was
+        forked (workers receive both through the initializer)."""
+        key = (self._prep_key(), get_fault_plan())
         if self._pool_holder and self._pool_prep_key != key:
             self._discard_pool(wait=True)
         if not self._pool_holder:
-            kwargs = {}
-            if key is not None:
-                kwargs = {"initializer": _worker_init, "initargs": key}
             self._pool_holder.append(
                 ProcessPoolExecutor(
-                    max_workers=self.jobs, mp_context=self.mp_context, **kwargs
+                    max_workers=self.jobs,
+                    mp_context=self.mp_context,
+                    initializer=_worker_init,
+                    initargs=key,
                 )
             )
             self._pool_prep_key = key
@@ -174,15 +199,43 @@ class ProcessPoolEngine(ExecutionEngine):
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def run(self, specs: Sequence[JobSpec]) -> list[JobOutcome]:
+    def _note_degraded(self, reason: str) -> None:
+        """A degradation to serial is a loud warning, never silent: count
+        it, trace it, and keep the cause for ``-v`` reporting."""
+        self.degraded_reasons.append(reason)
+        METRICS.counter("exec.degraded_to_serial").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(EngineDegradedEvent(engine=self.name, reason=reason))
+        print(f"warning: {self.name} degraded to serial: {reason}", file=sys.stderr)
+
+    def run(
+        self, specs: Sequence[JobSpec], *, on_outcome: OnOutcome | None = None
+    ) -> list[JobOutcome]:
         specs = list(specs)
         if not specs:
             return []
         self._reset_backoff()
         if self.jobs <= 1 or len(specs) == 1:
             # A pool buys nothing here; keep the exact serial semantics.
-            return [self._execute_with_retry(spec, engine_name=self.name) for spec in specs]
+            outcomes = []
+            for spec in specs:
+                outcome = self._execute_with_retry(spec, engine_name=self.name)
+                if on_outcome is not None:
+                    on_outcome(outcome)
+                outcomes.append(outcome)
+            return outcomes
+        try:
+            return self._run_pooled(specs, on_outcome)
+        except (KeyboardInterrupt, SystemExit):
+            # Interrupt protocol: never leave a warm pool (and its worker
+            # processes) behind when the batch is being torn down.
+            self._discard_pool(wait=False)
+            raise
 
+    def _run_pooled(
+        self, specs: list[JobSpec], on_outcome: OnOutcome | None
+    ) -> list[JobOutcome]:
         tracer = get_tracer()
         if tracer.enabled:
             # Workers cannot reach this process's tracer, so job lifecycle
@@ -215,33 +268,53 @@ class ProcessPoolEngine(ExecutionEngine):
                         error=outcome.error,
                     )
                 )
+            if on_outcome is not None:
+                on_outcome(outcome)
             return outcome
 
         outcomes: list[JobOutcome | None] = [None] * len(specs)
         attempts = [0] * len(specs)
         pending: list[_IndexedSpec] = list(enumerate(specs))
         failed_rounds = 0
+        plan = get_fault_plan()
+
+        def announce_attempt(idx: int) -> None:
+            """An attempt was consumed: announce the faults that fired in
+            the worker for it (deterministic replay of its decision)."""
+            if plan is None:
+                return
+            rules = plan.planned_job_faults(specs[idx].label, attempts[idx])
+            if rules:
+                announce_faults(rules, specs[idx].label, attempts[idx])
+
+        def record_success(idx: int, result: RunResult, duration: float) -> None:
+            # Streamed from _pool_round as each future completes, so a
+            # crash-safe consumer (the sweep journal) has durably recorded
+            # every finished cell even if the process dies mid-round.
+            attempts[idx] += 1
+            announce_attempt(idx)
+            outcomes[idx] = finalize(
+                JobOutcome(
+                    spec=specs[idx],
+                    result=result,
+                    attempts=attempts[idx],
+                    duration_s=duration,
+                    engine=self.name,
+                )
+            )
 
         while pending:
             if failed_rounds:
                 self._backoff_sleep(failed_rounds)
-            successes, failures, remainder, degrade = self._pool_round(pending)
-            for idx, result, duration in successes:
-                attempts[idx] += 1
-                outcomes[idx] = finalize(
-                    JobOutcome(
-                        spec=specs[idx],
-                        result=result,
-                        attempts=attempts[idx],
-                        duration_s=duration,
-                        engine=self.name,
-                    )
-                )
+            failures, remainder, degrade_reason = self._pool_round(
+                pending, attempts, record_success
+            )
             # Jobs in `remainder` were never dispatched (their pool went
             # away first); they keep their attempt budget.
             pending = list(remainder)
             for idx, error in failures:
                 attempts[idx] += 1
+                announce_attempt(idx)
                 METRICS.counter("exec.retries").inc()
                 if tracer.enabled:
                     tracer.emit(
@@ -262,7 +335,8 @@ class ProcessPoolEngine(ExecutionEngine):
                     pending.append((idx, specs[idx]))
             if failures:
                 failed_rounds += 1
-            if degrade and pending:
+            if degrade_reason is not None and pending:
+                self._note_degraded(degrade_reason)
                 pending.sort()
                 for idx, spec in pending:
                     # The pool already announced these jobs, and the serial
@@ -274,32 +348,43 @@ class ProcessPoolEngine(ExecutionEngine):
                         engine_name=f"{self.name}→serial",
                         emit_start=False,
                     )
+                    if on_outcome is not None:
+                        on_outcome(outcomes[idx])
                 pending = []
 
         assert all(o is not None for o in outcomes)
         return outcomes  # type: ignore[return-value]
 
-    def _pool_round(self, items: Sequence[_IndexedSpec]):
+    def _pool_round(
+        self,
+        items: Sequence[_IndexedSpec],
+        attempts: Sequence[int],
+        record_success: Callable[[int, RunResult, float], None],
+    ):
         """One pass over ``items`` through the warm pool.
 
-        Returns ``(successes, failures, remainder, degrade)`` where
-        ``successes`` is ``(index, result, duration)`` triples, ``failures``
-        is ``(index, error)`` pairs that consumed an attempt, ``remainder``
-        holds never-dispatched items, and ``degrade`` asks the caller to
+        Successes are streamed to ``record_success(index, result,
+        duration)`` the moment their future completes — not batched until
+        the round ends — so the caller can durably persist each one
+        before the next is awaited.  Returns ``(failures, remainder,
+        degrade_reason)`` where ``failures`` is ``(index, error)`` pairs
+        that consumed an attempt, ``remainder`` holds never-dispatched
+        items, and a non-None ``degrade_reason`` asks the caller to
         finish everything unfinished in-process.  The pool survives the
         round unless it was abandoned (wedged on a timed-out job, or
         broken by a worker death) — then it is discarded and the next
         round starts fresh.
         """
-        successes: list[tuple[int, RunResult, float]] = []
         failures: list[tuple[int, str]] = []
         remainder: list[_IndexedSpec] = []
         abandoned = False  # a wedged/broken pool must not be rejoined
-        degrade = False
+        degrade_reason: str | None = None
         try:
             executor = self._ensure_pool()
-        except Exception:  # cannot even build a pool: run everything serially
-            return [], [], list(items), True
+        except Exception as exc:  # noqa: BLE001 — any build failure degrades
+            # Cannot even build a pool: run everything serially.  This
+            # used to be swallowed silently; the cause must surface.
+            return [], list(items), f"pool build failed: {type(exc).__name__}: {exc}"
 
         try:
             for chunk_start in range(0, len(items), self.chunk_size):
@@ -308,7 +393,13 @@ class ProcessPoolEngine(ExecutionEngine):
                     remainder.extend(chunk)
                     continue
                 waves = [
-                    (idx, spec, executor.submit(_timed_call, self.job_runner, spec))
+                    (
+                        idx,
+                        spec,
+                        executor.submit(
+                            _timed_call, self.job_runner, spec, attempts[idx] + 1
+                        ),
+                    )
                     for idx, spec in chunk
                 ]
                 for idx, spec, future in waves:
@@ -319,7 +410,7 @@ class ProcessPoolEngine(ExecutionEngine):
                             exc = future.exception()
                             if exc is None:
                                 result, duration = future.result()
-                                successes.append((idx, result, duration))
+                                record_success(idx, result, duration)
                             elif not isinstance(exc, BrokenExecutor):
                                 failures.append((idx, f"{type(exc).__name__}: {exc}"))
                             else:
@@ -330,7 +421,7 @@ class ProcessPoolEngine(ExecutionEngine):
                         continue
                     try:
                         result, duration = future.result(timeout=self.timeout_s)
-                        successes.append((idx, result, duration))
+                        record_success(idx, result, duration)
                     except FutureTimeoutError:
                         failures.append(
                             (idx, f"job {spec.label} timed out after {self.timeout_s:g}s")
@@ -339,10 +430,10 @@ class ProcessPoolEngine(ExecutionEngine):
                     except BrokenExecutor:
                         failures.append((idx, f"pool worker died running {spec.label}"))
                         abandoned = True
-                        degrade = True
+                        degrade_reason = f"pool worker died running {spec.label}"
                     except Exception as exc:  # noqa: BLE001 — job failure is data
                         failures.append((idx, f"{type(exc).__name__}: {exc}"))
         finally:
             if abandoned:
                 self._discard_pool(wait=False)
-        return successes, failures, remainder, degrade
+        return failures, remainder, degrade_reason

@@ -30,16 +30,25 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 import repro
 from repro.core.records import RunResult
+from repro.exec.faults import maybe_corrupt_artifact
 from repro.exec.jobs import JobSpec
 from repro.obs.events import StoreHitEvent, StoreMissEvent
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import get_tracer
 
-__all__ = ["ResultStore"]
+__all__ = ["DEFAULT_STALE_TTL_S", "ResultStore"]
+
+DEFAULT_STALE_TTL_S = 3600.0
+"""Staging files older than this are presumed orphaned by a dead writer.
+
+Generous on purpose: a live ``put`` holds its staging file for
+milliseconds, so anything this old can only be the residue of a process
+that was SIGKILLed mid-publish."""
 
 
 class ResultStore:
@@ -50,13 +59,25 @@ class ResultStore:
     can be *verified* to have simulated nothing.
     """
 
-    def __init__(self, root: str | Path, *, version: str | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        version: str | None = None,
+        stale_ttl_s: float = DEFAULT_STALE_TTL_S,
+    ) -> None:
         self.root = Path(root)
         self.version = version if version is not None else repro.__version__
+        self.stale_ttl_s = stale_ttl_s
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
+        self.stale_swept = 0
+        # Startup sweep: repeated hard-killed runs must not fill the disk
+        # with orphaned staging files (a put that died between mkstemp
+        # and os.replace leaves one behind).
+        self.sweep_stale()
 
     @property
     def version_dir(self) -> Path:
@@ -139,7 +160,34 @@ class ResultStore:
                 pass
             raise
         self.writes += 1
+        maybe_corrupt_artifact(path, spec.label)
         return path
+
+    def sweep_stale(self, ttl_s: float | None = None) -> int:
+        """Delete staging files orphaned by writers that died mid-``put``.
+
+        Only files older than ``ttl_s`` (default: the store's
+        ``stale_ttl_s``) go — a *live* concurrent writer's staging file
+        is at most milliseconds old and is left alone.  Returns the
+        count removed (also accumulated in ``stale_swept`` and the
+        ``store.stale_swept`` metric).
+        """
+        ttl = self.stale_ttl_s if ttl_s is None else ttl_s
+        if not self.version_dir.is_dir():
+            return 0
+        cutoff = time.time() - ttl
+        removed = 0
+        for stale in self.version_dir.glob("*/.put-*.tmp"):
+            try:
+                if stale.stat().st_mtime <= cutoff:
+                    stale.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        if removed:
+            self.stale_swept += removed
+            METRICS.counter("store.stale_swept").inc(removed)
+        return removed
 
     def __contains__(self, spec: JobSpec) -> bool:
         return self.path_for(spec).is_file()
@@ -177,6 +225,7 @@ class ResultStore:
             "misses": self.misses,
             "writes": self.writes,
             "corrupt": self.corrupt,
+            "stale_swept": self.stale_swept,
         }
 
     def _trace_miss(self, spec: JobSpec, *, corrupt: bool = False) -> None:

@@ -23,7 +23,10 @@ summarize a JSONL trace.
 from repro.obs.events import (
     EVENT_KINDS,
     ConvergenceEvent,
+    EngineDegradedEvent,
+    FaultInjectedEvent,
     IntervalEvent,
+    InterruptEvent,
     JobEndEvent,
     JobStartEvent,
     MetricsEvent,
@@ -49,8 +52,11 @@ __all__ = [
     "Counter",
     "ConvergenceEvent",
     "EVENT_KINDS",
+    "EngineDegradedEvent",
+    "FaultInjectedEvent",
     "Gauge",
     "IntervalEvent",
+    "InterruptEvent",
     "JobEndEvent",
     "JobStartEvent",
     "JsonlTracer",

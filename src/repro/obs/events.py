@@ -18,7 +18,11 @@ Two event families exist (DESIGN.md §B):
   targets after eviction control);
 * **execution-layer events**, emitted around whole simulations —
   ``job_start``/``job_end``/``retry`` from the engines,
-  ``store_hit``/``store_miss`` from the result store, plus generic
+  ``store_hit``/``store_miss`` from the result store,
+  ``engine_degraded`` when a pool engine falls back to in-process
+  execution, ``fault_injected`` when an active
+  :class:`~repro.exec.faults.FaultPlan` fires an injector,
+  ``interrupt`` when a sweep is stopped by SIGINT/SIGTERM, plus generic
   ``span`` phase timings and a final ``metrics`` registry snapshot.
 """
 
@@ -30,7 +34,10 @@ from typing import ClassVar
 __all__ = [
     "ConvergenceEvent",
     "EVENT_KINDS",
+    "EngineDegradedEvent",
+    "FaultInjectedEvent",
     "IntervalEvent",
+    "InterruptEvent",
     "JobEndEvent",
     "JobStartEvent",
     "MetricsEvent",
@@ -147,6 +154,43 @@ class RetryEvent(TraceEvent):
 
 
 @dataclass(frozen=True)
+class EngineDegradedEvent(TraceEvent):
+    """A pool engine fell back to in-process execution — a warning, not a
+    failure: the batch still completes, but without parallelism.  The
+    cause (a pool that could not be built, or a dead worker) is data a
+    production operator must see, never a silent slowdown."""
+
+    kind: ClassVar[str] = "engine_degraded"
+
+    engine: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class FaultInjectedEvent(TraceEvent):
+    """An active FaultPlan fired one injector.  ``key`` is the job label
+    (or artifact digest for ``artifact-corruption``); ``attempt`` is the
+    1-based attempt number the fault keyed on (0 for artifacts)."""
+
+    kind: ClassVar[str] = "fault_injected"
+
+    fault: str
+    key: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class InterruptEvent(TraceEvent):
+    """A sweep was stopped by a signal after draining in-flight work.
+    ``completed`` counts cells already durably journaled."""
+
+    kind: ClassVar[str] = "interrupt"
+
+    signal: str
+    completed: int
+
+
+@dataclass(frozen=True)
 class StoreHitEvent(TraceEvent):
     kind: ClassVar[str] = "store_hit"
 
@@ -193,6 +237,9 @@ EVENT_KINDS: dict[str, type[TraceEvent]] = {
         JobStartEvent,
         JobEndEvent,
         RetryEvent,
+        EngineDegradedEvent,
+        FaultInjectedEvent,
+        InterruptEvent,
         StoreHitEvent,
         StoreMissEvent,
         SpanEvent,

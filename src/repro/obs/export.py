@@ -115,7 +115,10 @@ def chrome_trace(records: list[dict]) -> list[dict]:
                 "ts": _us(max(rec.get("ts", 0.0) - dur, 0.0)), "dur": _us(dur),
                 "pid": 1, "tid": _EXEC_TID, "args": {},
             })
-        elif kind in ("job_start", "retry", "store_hit", "store_miss", "metrics"):
+        elif kind in (
+            "job_start", "retry", "store_hit", "store_miss", "metrics",
+            "engine_degraded", "fault_injected", "interrupt",
+        ):
             args = {k: v for k, v in rec.items() if k not in ("kind", "ts")}
             out.append({
                 "name": kind, "cat": "exec", "ph": "i", "s": "t", "ts": ts,
@@ -232,6 +235,28 @@ def summarize(records: list[dict], *, top: int = 5) -> str:
                 )
         for r in failed:
             lines.append(f"  FAILED {r['label']}: {r.get('error')}")
+
+    degraded = [r for r in records if r["kind"] == "engine_degraded"]
+    if degraded:
+        lines.append("")
+        lines.append(f"engine degradations: {len(degraded)}")
+        for r in degraded:
+            lines.append(f"  WARNING {r['engine']} degraded to serial: {r['reason']}")
+
+    faults = [r for r in records if r["kind"] == "fault_injected"]
+    if faults:
+        by_fault = TallyCounter(r["fault"] for r in faults)
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(by_fault.items()))
+        lines.append("")
+        lines.append(f"injected faults: {len(faults)} ({detail})")
+
+    interrupts = [r for r in records if r["kind"] == "interrupt"]
+    for r in interrupts:
+        lines.append("")
+        lines.append(
+            f"interrupted by {r['signal']}: {r['completed']} cell(s) journaled "
+            "before the stop (resume with `repro sweep --resume`)"
+        )
 
     spans = [r for r in records if r["kind"] == "span"]
     if spans:

@@ -36,6 +36,7 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from collections import OrderedDict
 from pathlib import Path
 
@@ -44,6 +45,11 @@ import numpy as np
 import repro
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import get_tracer
+
+DEFAULT_STALE_TTL_S = 3600.0
+"""Staging directories older than this are presumed orphaned (a publisher
+holds its staging dir for at most the few ms between mkdtemp and rename,
+so anything this old belongs to a writer that was hard-killed)."""
 
 __all__ = [
     "PrepBundle",
@@ -93,18 +99,24 @@ class PrepStore:
         *,
         version: str | None = None,
         lru_limit: int = DEFAULT_LRU_LIMIT,
+        stale_ttl_s: float = DEFAULT_STALE_TTL_S,
     ) -> None:
         if lru_limit < 1:
             raise ValueError("lru_limit must be >= 1")
         self.root = Path(root)
         self.version = version if version is not None else repro.__version__
         self.lru_limit = lru_limit
+        self.stale_ttl_s = stale_ttl_s
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
         self.races = 0
+        self.stale_swept = 0
         self._lru: OrderedDict[str, PrepBundle] = OrderedDict()
+        # Startup sweep: staging dirs orphaned by hard-killed publishers
+        # must not accumulate across repeatedly crashed runs.
+        self.sweep_stale()
 
     @property
     def version_dir(self) -> Path:
@@ -200,7 +212,34 @@ class PrepStore:
             raise
         self.writes += 1
         METRICS.counter("prep.writes").inc()
+        from repro.exec.faults import maybe_corrupt_artifact
+
+        maybe_corrupt_artifact(path / _META_NAME, digest)
         return path
+
+    def sweep_stale(self, ttl_s: float | None = None) -> int:
+        """Delete staging directories orphaned by publishers that died
+        mid-``put`` (``.stage-*`` older than ``ttl_s``; default the
+        store's ``stale_ttl_s``).  Live writers' staging dirs are
+        younger than any sane TTL and survive.  Returns the count
+        removed (also in ``stale_swept`` / the ``prep.stale_swept``
+        metric)."""
+        ttl = self.stale_ttl_s if ttl_s is None else ttl_s
+        if not self.version_dir.is_dir():
+            return 0
+        cutoff = time.time() - ttl
+        removed = 0
+        for stale in self.version_dir.glob("*/.stage-*"):
+            try:
+                if stale.stat().st_mtime <= cutoff:
+                    shutil.rmtree(stale, ignore_errors=True)
+                    removed += 1
+            except OSError:
+                pass
+        if removed:
+            self.stale_swept += removed
+            METRICS.counter("prep.stale_swept").inc(removed)
+        return removed
 
     def __contains__(self, key: dict) -> bool:
         return (self.path_for(key) / _META_NAME).is_file()
@@ -234,6 +273,7 @@ class PrepStore:
             "writes": self.writes,
             "corrupt": self.corrupt,
             "races": self.races,
+            "stale_swept": self.stale_swept,
         }
 
     def _remember(self, digest: str, bundle: PrepBundle) -> None:

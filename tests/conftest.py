@@ -37,6 +37,21 @@ def _reset_observability():
         assert get_tracer() is NULL_TRACER
 
 
+@pytest.fixture(autouse=True)
+def _reset_fault_plan():
+    """The fault-injection plan slot is process-wide; pin every test to
+    the disabled default (a leaked plan would inject faults into
+    unrelated tests)."""
+    from repro.exec.faults import set_fault_plan
+
+    previous = set_fault_plan(None)
+    assert previous is None, f"fault plan {previous!r} leaked into this test"
+    try:
+        yield
+    finally:
+        set_fault_plan(None)
+
+
 @pytest.fixture
 def small_geometry() -> CacheGeometry:
     """A tiny cache: 4 sets x 4 ways x 64 B = 1 KB."""

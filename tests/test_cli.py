@@ -289,3 +289,65 @@ class TestRunnerLayer:
         runner_mod.configure(engine=SerialEngine(max_retries=0, backoff_s=0.0, job_runner=boom))
         with pytest.raises(RuntimeError, match="injected failure"):
             runner_mod.get_result("ft", "shared", quick_config.with_(seed=31337))
+
+
+class TestCrashSafetyCli:
+    SWEEP = [
+        "sweep", "--apps", "ft", "--policies", "shared", "static-equal",
+        "--intervals", "5", "--interval-instructions", "2000",
+    ]
+
+    def test_faults_inline_json_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "swim", "--faults", '{"seed": 9, "rules": [{"kind": "delay"}]}']
+        )
+        assert args.faults.seed == 9
+        assert args.faults.rules[0].kind == "delay"
+
+    def test_faults_from_file(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"rules": [{"kind": "job-exception", "match": "ft/*"}]}')
+        args = build_parser().parse_args(["run", "swim", "--faults", str(plan)])
+        assert args.faults.rules[0].match == "ft/*"
+
+    def test_bad_faults_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["run", "swim", "--faults", "{not json"])
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "swim", "--faults", '{"rules": [{"kind": "bogus"}]}']
+            )
+
+    def test_resume_requires_journal(self, capsys):
+        assert main([*self.SWEEP, "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_sweep_journal_written_and_resumed(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        argv = [*self.SWEEP, "--journal", str(journal), "-v"]
+        assert main(argv) == 0
+        assert journal.is_file()
+        err = capsys.readouterr().err
+        assert "simulated=2" in err and "resumed=0" in err
+        assert main([*argv, "--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "simulated=0" in err and "resumed=2" in err
+
+    def test_resume_foreign_journal_exits_2(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        assert main([*self.SWEEP, "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        other = [
+            "sweep", "--apps", "cg", "--policies", "shared", "static-equal",
+            "--intervals", "5", "--interval-instructions", "2000",
+            "--journal", str(journal), "--resume",
+        ]
+        assert main(other) == 2
+        assert "different sweep grid" in capsys.readouterr().err
+
+    def test_faulty_sweep_reports_injections(self, capsys):
+        plan = '{"rules": [{"kind": "job-exception", "match": "*", "attempts": [1]}]}'
+        assert main([*self.SWEEP, "--faults", plan, "-v"]) == 0
+        err = capsys.readouterr().err
+        assert "faults-injected=2" in err

@@ -1,0 +1,130 @@
+"""Tests for repro.exec.journal: durability, torn tails, grid identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec.journal import (
+    JournalEntry,
+    JournalMismatchError,
+    SweepJournal,
+    grid_digest,
+)
+from repro.obs import METRICS
+
+GRID = {"apps": ["ft"], "policies": ["shared"], "seeds": [1], "version": "x"}
+OTHER_GRID = {"apps": ["cg"], "policies": ["shared"], "seeds": [1], "version": "x"}
+
+
+def _entry(key: str = "k1", *, error: str | None = None) -> JournalEntry:
+    return JournalEntry(
+        key=key,
+        app="ft",
+        policy="shared",
+        seed=1,
+        n_threads=4,
+        total_cycles=None if error else 123.0,
+        source="run",
+        error=error,
+    )
+
+
+class TestJournalEntry:
+    def test_roundtrip_and_ok(self):
+        good = _entry()
+        bad = _entry(error="boom")
+        assert good.ok and not bad.ok
+        assert JournalEntry.from_dict(good.to_dict()) == good
+        assert JournalEntry.from_dict(bad.to_dict()) == bad
+
+
+class TestSweepJournal:
+    def test_begin_append_load_roundtrip(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal.begin(path, GRID) as journal:
+            journal.append(_entry("k1"))
+            journal.append(_entry("k2", error="boom"))
+        header, entries, torn = SweepJournal.load(path)
+        assert header["grid_digest"] == grid_digest(GRID)
+        assert header["grid"] == GRID
+        assert torn == 0
+        assert set(entries) == {"k1", "k2"}
+        assert entries["k1"].ok and not entries["k2"].ok
+        assert METRICS.snapshot()["counters"]["sweep.journal.cells"] == 2
+
+    def test_each_append_is_durable_on_disk(self, tmp_path):
+        """Every append must be readable immediately — a SIGKILL at any
+        point loses at most the in-flight cell, never a completed one."""
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal.begin(path, GRID) as journal:
+            for i in range(3):
+                journal.append(_entry(f"k{i}"))
+                _, entries, _ = SweepJournal.load(path)
+                assert set(entries) == {f"k{j}" for j in range(i + 1)}
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal.begin(path, GRID) as journal:
+            journal.append(_entry("k1"))
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"kind": "cell", "key": "k2", "app": "ft"')  # no newline, no close
+        resumed = SweepJournal.resume(path, GRID)
+        try:
+            assert set(resumed.entries) == {"k1"}
+            assert resumed.torn_lines == 1
+            # The reopened journal appends cleanly past the torn tail.
+            resumed.append(_entry("k3"))
+        finally:
+            resumed.close()
+        _, entries, torn = SweepJournal.load(path)
+        assert set(entries) == {"k1", "k3"}
+        assert torn == 1
+
+    def test_last_record_wins_per_key(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal.begin(path, GRID) as journal:
+            journal.append(_entry("k1", error="first try failed"))
+            journal.append(_entry("k1"))
+        _, entries, _ = SweepJournal.load(path)
+        assert entries["k1"].ok
+
+    def test_resume_missing_file_degrades_to_begin(self, tmp_path):
+        path = tmp_path / "absent.jsonl"
+        with SweepJournal.resume(path, GRID) as journal:
+            assert journal.entries == {}
+        header, _, _ = SweepJournal.load(path)
+        assert header["grid_digest"] == grid_digest(GRID)
+
+    def test_resume_refuses_foreign_grid(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        SweepJournal.begin(path, GRID).close()
+        with pytest.raises(JournalMismatchError, match="different sweep grid"):
+            SweepJournal.resume(path, OTHER_GRID)
+
+    def test_resume_refuses_headerless_file(self, tmp_path):
+        path = tmp_path / "not-a-journal.jsonl"
+        path.write_text(json.dumps({"kind": "something-else"}) + "\n")
+        with pytest.raises(JournalMismatchError, match="no header"):
+            SweepJournal.resume(path, GRID)
+
+    def test_begin_truncates_prior_content(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal.begin(path, GRID) as journal:
+            journal.append(_entry("k1"))
+        with SweepJournal.begin(path, OTHER_GRID) as journal:
+            pass
+        header, entries, _ = SweepJournal.load(path)
+        assert header["grid_digest"] == grid_digest(OTHER_GRID)
+        assert entries == {}
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = SweepJournal.begin(tmp_path / "sweep.jsonl", GRID)
+        journal.close()
+        with pytest.raises(ValueError, match="closed"):
+            journal.append(_entry())
+
+    def test_grid_digest_is_order_insensitive_canonical(self):
+        assert grid_digest({"a": 1, "b": 2}) == grid_digest({"b": 2, "a": 1})
+        assert grid_digest({"a": 1}) != grid_digest({"a": 2})

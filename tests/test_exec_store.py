@@ -49,7 +49,9 @@ class TestResultStore:
         store = ResultStore(tmp_path)
         spec = spec_for(tiny_config)
         assert store.get(spec) is None
-        assert store.stats() == {"hits": 0, "misses": 1, "writes": 0, "corrupt": 0}
+        assert store.stats() == {
+            "hits": 0, "misses": 1, "writes": 0, "corrupt": 0, "stale_swept": 0,
+        }
 
         result = run_application(spec.app, spec.policy, spec.config)
         path = store.put(spec, result)
@@ -59,7 +61,9 @@ class TestResultStore:
 
         loaded = store.get(spec)
         assert loaded == result
-        assert store.stats() == {"hits": 1, "misses": 1, "writes": 1, "corrupt": 0}
+        assert store.stats() == {
+            "hits": 1, "misses": 1, "writes": 1, "corrupt": 0, "stale_swept": 0,
+        }
 
     def test_corrupt_entry_recovers_as_miss(self, tmp_path, tiny_config):
         store = ResultStore(tmp_path)
@@ -206,3 +210,51 @@ class TestConcurrentWriters:
         assert store.get(spec) is not None
         stray = [p for p in tmp_path.rglob(".put-*")]
         assert stray == [], "no staging files may leak"
+
+
+class TestStaleSweep:
+    """Hard-killed writers leave ``.put-*.tmp`` staging files behind; the
+    startup sweep reclaims them once they age past the TTL."""
+
+    def _orphan(self, store: ResultStore, age_s: float) -> "object":
+        import os
+        import tempfile
+        import time
+
+        shard = store.version_dir / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        fd, name = tempfile.mkstemp(dir=shard, prefix=".put-", suffix=".tmp")
+        os.close(fd)
+        stamp = time.time() - age_s
+        os.utime(name, (stamp, stamp))
+        return name
+
+    def test_old_orphans_swept_at_startup(self, tmp_path):
+        import os
+
+        first = ResultStore(tmp_path, stale_ttl_s=100.0)
+        orphan = self._orphan(first, age_s=500.0)
+        reopened = ResultStore(tmp_path, stale_ttl_s=100.0)
+        assert not os.path.exists(orphan)
+        assert reopened.stale_swept == 1
+        assert reopened.stats()["stale_swept"] == 1
+
+    def test_fresh_staging_files_survive(self, tmp_path):
+        import os
+
+        first = ResultStore(tmp_path, stale_ttl_s=100.0)
+        live = self._orphan(first, age_s=0.0)
+        reopened = ResultStore(tmp_path, stale_ttl_s=100.0)
+        assert os.path.exists(live)
+        assert reopened.stale_swept == 0
+
+    def test_explicit_sweep_with_zero_ttl(self, tmp_path):
+        import os
+
+        from repro.obs.metrics import METRICS
+
+        store = ResultStore(tmp_path)
+        live = self._orphan(store, age_s=0.0)
+        assert store.sweep_stale(0.0) == 1
+        assert not os.path.exists(live)
+        assert METRICS.snapshot()["counters"]["store.stale_swept"] == 1

@@ -87,3 +87,112 @@ class TestRunSweep:
             config=sweep_config,
         )
         assert sorted(c.n_threads for c in result.cells) == [2, 4]
+
+
+def _fail_baseline_seed1(spec):
+    """Module-level so pool engines could pickle it: the baseline (shared)
+    run fails at seed 1, everything else succeeds."""
+    if spec.policy == "shared" and spec.config.seed == 1:
+        raise RuntimeError("baseline down")
+    return run_application(spec.app, spec.policy, spec.config)
+
+
+class TestBaselineMissing:
+    def test_failed_baseline_cell_excluded_from_aggregates(self, sweep_config):
+        """Regression: a grid point whose *baseline* failed must not poison
+        (or silently shrink) the speedup aggregates — it is excluded and
+        counted."""
+        engine = SerialEngine(max_retries=0, backoff_s=0.0, job_runner=_fail_baseline_seed1)
+        result = run_sweep(
+            ["ft"],
+            ["shared", "static-equal"],
+            seeds=[1, 2],
+            config=sweep_config,
+            engine=engine,
+        )
+        # seed 1's baseline failed: only seed 2 contributes a speedup.
+        assert len(result.failures) == 1
+        assert result.baseline_missing == 1
+        assert len(result.speedups("ft", "static-equal")) == 1
+        clean = run_sweep(
+            ["ft"], ["shared", "static-equal"], seeds=[2], config=sweep_config
+        )
+        assert result.mean_speedup("ft", "static-equal") == pytest.approx(
+            clean.mean_speedup("ft", "static-equal")
+        )
+        assert "baseline-missing grid points: 1" in result.format()
+        assert result.to_dict()["baseline_missing"] == 1
+
+    def test_every_baseline_failed_means_no_speedups(self, sweep_config):
+        def kill_shared(spec):
+            if spec.policy == "shared":
+                raise RuntimeError("baseline down")
+            return run_application(spec.app, spec.policy, spec.config)
+
+        engine = SerialEngine(max_retries=0, backoff_s=0.0, job_runner=kill_shared)
+        result = run_sweep(
+            ["ft"], ["shared", "static-equal"], config=sweep_config, engine=engine
+        )
+        assert result.mean_speedup("ft", "static-equal") is None
+        assert result.policy_mean_speedup("static-equal") is None
+        assert result.baseline_missing == 1
+        assert "n/a" in result.format()
+
+
+class TestSweepJournal:
+    def test_sweep_writes_journal_and_resume_recomputes_nothing(
+        self, tmp_path, sweep_config
+    ):
+        path = tmp_path / "sweep.jsonl"
+        kwargs = dict(seeds=[1], config=sweep_config, journal=path)
+        cold = run_sweep(["ft"], ["shared", "static-equal"], **kwargs)
+        assert cold.simulated == 2
+        warm = run_sweep(["ft"], ["shared", "static-equal"], resume=True, **kwargs)
+        assert warm.simulated == 0
+        assert warm.store_hits == 0
+        assert warm.resumed == 2
+        # The crash-safety contract: aggregates are byte-identical.
+        assert json.dumps(warm.aggregates(), sort_keys=True) == json.dumps(
+            cold.aggregates(), sort_keys=True
+        )
+
+    def test_resume_reattempts_failed_cells(self, tmp_path, sweep_config):
+        path = tmp_path / "sweep.jsonl"
+        engine = SerialEngine(max_retries=0, backoff_s=0.0, job_runner=_fail_baseline_seed1)
+        kwargs = dict(seeds=[1], config=sweep_config, journal=path)
+        broken = run_sweep(["ft"], ["shared", "static-equal"], engine=engine, **kwargs)
+        assert len(broken.failures) == 1
+        fixed = run_sweep(["ft"], ["shared", "static-equal"], resume=True, **kwargs)
+        assert not fixed.failures
+        assert fixed.resumed == 1  # the cell that succeeded first time
+        assert fixed.simulated == 1  # the failed baseline, re-attempted
+
+    def test_store_hits_are_journaled_with_store_source(self, tmp_path, sweep_config):
+        from repro.exec.journal import SweepJournal
+        from repro.exec.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        path = tmp_path / "sweep.jsonl"
+        run_sweep(["ft"], ["shared"], seeds=[1], config=sweep_config, store=store)
+        hit = run_sweep(
+            ["ft"], ["shared"], seeds=[1], config=sweep_config, store=store, journal=path
+        )
+        assert hit.store_hits == 1
+        _, entries, _ = SweepJournal.load(path)
+        assert [e.source for e in entries.values()] == ["store"]
+        # Resume restores the original source, keeping aggregates identical.
+        resumed = run_sweep(
+            ["ft"],
+            ["shared"],
+            seeds=[1],
+            config=sweep_config,
+            store=store,
+            journal=path,
+            resume=True,
+        )
+        assert resumed.resumed == 1
+        assert resumed.cells[0].source == "store"
+
+    def test_resume_without_journal_rejected(self, sweep_config):
+        with pytest.raises(ValueError, match="needs a journal"):
+            run_sweep(["ft"], ["shared"], config=sweep_config, resume=True)

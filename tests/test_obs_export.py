@@ -183,3 +183,42 @@ class TestSummarize:
 
     def test_empty_trace_summarizes(self):
         assert summarize([]).startswith("trace: 0 events")
+
+
+class TestCrashSafetyEvents:
+    def _records(self, *events):
+        tracer = RecordingTracer()
+        for event in events:
+            tracer.emit(event)
+        return tracer.records
+
+    def test_summarize_reports_degradations_faults_and_interrupts(self):
+        from repro.obs import EngineDegradedEvent, FaultInjectedEvent, InterruptEvent
+
+        records = self._records(
+            EngineDegradedEvent(engine="process-pool", reason="pool worker died running x"),
+            FaultInjectedEvent(fault="job-exception", key="swim/shared", attempt=1),
+            FaultInjectedEvent(fault="delay", key="cg/shared", attempt=2),
+            InterruptEvent(signal="SIGINT", completed=3),
+        )
+        text = summarize(records)
+        assert "engine degradations: 1" in text
+        assert "WARNING process-pool degraded to serial: pool worker died" in text
+        assert "injected faults: 2" in text
+        assert "job-exception=1" in text and "delay=1" in text
+        assert "interrupted by SIGINT: 3 cell(s) journaled" in text
+
+    def test_new_events_become_chrome_instants(self):
+        from repro.obs import EngineDegradedEvent, FaultInjectedEvent, InterruptEvent
+
+        records = self._records(
+            EngineDegradedEvent(engine="process-pool", reason="boom"),
+            FaultInjectedEvent(fault="worker-death", key="k", attempt=1),
+            InterruptEvent(signal="SIGTERM", completed=0),
+        )
+        instants = [e for e in chrome_trace(records) if e.get("ph") == "i"]
+        assert {e["name"] for e in instants} >= {
+            "engine_degraded",
+            "fault_injected",
+            "interrupt",
+        }

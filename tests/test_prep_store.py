@@ -81,6 +81,7 @@ class TestPrepStore:
         np.testing.assert_array_equal(bundle.arrays["y"], np.linspace(0.0, 1.0, 5))
         assert store.stats() == {
             "hits": 1, "misses": 1, "writes": 1, "corrupt": 0, "races": 0,
+            "stale_swept": 0,
         }
         assert key in store
         assert len(store) == 1
@@ -373,6 +374,7 @@ class TestEndToEndEquivalence:
         _result_bytes("swim", "shared", quick_config)
         assert get_prep_store().stats() == {
             "hits": 0, "misses": 2, "writes": 2, "corrupt": 0, "races": 0,
+            "stale_swept": 0,
         }
 
     def test_corrupted_artifact_regenerates_correctly(self, tmp_path, quick_config):
@@ -463,3 +465,36 @@ class TestConcurrentPublish:
         shards = [d for d in store.version_dir.iterdir() if d.is_dir()]
         for shard in shards:
             assert not any(e.name.startswith(".stage-") for e in shard.iterdir())
+
+
+class TestStaleStagingSweep:
+    """Hard-killed publishers leave ``.stage-*`` directories behind; the
+    startup sweep reclaims them once they age past the TTL."""
+
+    def _orphan_stage(self, store: PrepStore, age_s: float) -> str:
+        import tempfile
+        import time
+
+        shard = store.version_dir / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        tmp = tempfile.mkdtemp(dir=shard, prefix=".stage-dead-")
+        stamp = time.time() - age_s
+        os.utime(tmp, (stamp, stamp))
+        return tmp
+
+    def test_old_stage_dirs_swept_at_startup(self, tmp_path):
+        first = PrepStore(tmp_path, stale_ttl_s=100.0)
+        orphan = self._orphan_stage(first, age_s=500.0)
+        reopened = PrepStore(tmp_path, stale_ttl_s=100.0)
+        assert not os.path.exists(orphan)
+        assert reopened.stale_swept == 1
+        assert reopened.stats()["stale_swept"] == 1
+        assert METRICS.snapshot()["counters"]["prep.stale_swept"] == 1
+
+    def test_fresh_stage_dirs_survive(self, tmp_path):
+        first = PrepStore(tmp_path, stale_ttl_s=100.0)
+        live = self._orphan_stage(first, age_s=0.0)
+        reopened = PrepStore(tmp_path, stale_ttl_s=100.0)
+        assert os.path.exists(live)
+        assert reopened.stale_swept == 0
+        assert reopened.sweep_stale(0.0) == 1
