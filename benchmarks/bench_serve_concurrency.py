@@ -1,0 +1,226 @@
+"""Service concurrency benchmark: coalescing exactness + warm throughput.
+
+Two claims from DESIGN.md §F, measured against a live service (real
+sockets, the threaded harness from ``repro.serve.runner``):
+
+**Exactly-once execution.**  N concurrent clients (default 8) submit
+overlapping grids — every client shares the baseline policy's cells, and
+several submit identical grids outright.  However the submissions race,
+each distinct cell must execute exactly once: ``serve.cells.executed``
+and the store's ``writes`` must equal the union grid's cell count, with
+the rest resolved by attach/coalesce/store.
+
+**Warm throughput.**  A warm service sweep (every cell a store hit,
+journaled per cell, streamed over HTTP) must cost no more than ~10% over
+a warm ``run_sweep`` of the same union grid with the same store and a
+journal — i.e. the service layers (HTTP, asyncio, event streams) are
+noise next to the per-cell store read + fsynced journal append both
+paths pay.  Both sides are best-of-``--reps``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_concurrency.py          # BENCH.md numbers
+    PYTHONPATH=src python benchmarks/bench_serve_concurrency.py --smoke  # CI guard
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.exec.engine import SerialEngine
+from repro.exec.store import ResultStore
+from repro.exec.sweep import run_sweep
+from repro.serve.client import ServeClient
+from repro.serve.protocol import SweepRequest
+from repro.serve.runner import ServeSettings, start_in_thread
+
+APPS = ("ft", "cg")
+POLICIES = ("shared", "static-equal", "throughput", "model-based")
+BASELINE = "shared"
+
+
+def _grid(policies, seeds, *, intervals, instr, client="bench", resume=True) -> dict:
+    return {
+        "apps": list(APPS),
+        "policies": list(policies),
+        "seeds": list(seeds),
+        "baseline": BASELINE,
+        "intervals": intervals,
+        "interval_instructions": instr,
+        "client": client,
+        "resume": resume,
+    }
+
+
+def fan_out(client: ServeClient, n_clients: int, seeds, *, intervals, instr) -> list[dict]:
+    """N clients race overlapping submissions; returns their final statuses.
+
+    Client ``i`` sweeps the baseline plus one rotating policy, so all
+    clients share the baseline cells (per-cell coalescing) and clients
+    ``i`` and ``i + 3`` submit identical grids (full-sweep attach).
+    """
+    results: list[dict] = [None] * n_clients
+    barrier = threading.Barrier(n_clients)
+    failures: list[Exception] = []
+
+    def worker(i: int) -> None:
+        policies = [BASELINE, POLICIES[1 + i % (len(POLICIES) - 1)]]
+        payload = _grid(policies, seeds, intervals=intervals, instr=instr,
+                        client=f"client-{i}")
+        barrier.wait()
+        try:
+            results[i] = client.run(payload)
+        except Exception as exc:  # noqa: BLE001 — surfaced after the join
+            failures.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(600)
+    if failures:
+        raise failures[0]
+    assert all(r is not None and r["status"] == "done" for r in results), results
+    return results
+
+
+def measure_warm(client: ServeClient, union: dict, reps: int) -> float:
+    """Best-of-``reps`` wall seconds for a fully-warm service sweep.
+
+    ``resume: False`` forces the store-resolution path (not a journal
+    replay), and the service's ``retain=1`` + an eviction dummy between
+    reps keeps the resubmission from simply attaching to the retained
+    result of the previous rep.
+    """
+    best = float("inf")
+    for rep in range(reps):
+        # Evict the union sweep from retention (retain=1: the dummy
+        # becomes the one retained finished sweep).
+        client.run(_grid([BASELINE], [100 + rep], intervals=union["intervals"],
+                         instr=union["interval_instructions"], client="evictor"))
+        start = time.perf_counter()
+        final = client.run({**union, "resume": False, "client": "warm-bench"})
+        elapsed = time.perf_counter() - start
+        assert final["status"] == "done", final
+        assert final["executed"] == 0, (
+            f"warm rep {rep} executed {final['executed']} cell(s); store should "
+            "have resolved everything"
+        )
+        best = min(best, elapsed)
+    return best
+
+
+def measure_sweep_warm(union: dict, store_root: Path, tmp: Path, reps: int) -> float:
+    """Best-of-``reps`` wall seconds for the batch-path equivalent: a warm
+    ``run_sweep`` over the same store, journaling per cell like the
+    service does."""
+    request = SweepRequest.from_dict(union)
+    best = float("inf")
+    for rep in range(reps):
+        store = ResultStore(store_root)
+        start = time.perf_counter()
+        result = run_sweep(
+            list(request.apps), list(request.policies),
+            seeds=list(request.seeds), thread_counts=list(request.thread_counts),
+            config=request.config(), engine=SerialEngine(), store=store,
+            baseline=request.baseline, journal=tmp / f"control-{rep}.jsonl",
+        )
+        rendered = json.dumps(result.to_dict())  # `repro sweep --json` serializes too
+        elapsed = time.perf_counter() - start
+        assert result.simulated == 0 and rendered, "control sweep was not warm"
+        best = min(best, elapsed)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid + relaxed throughput bound (CI)")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--reps", type=int, default=5)
+    args = parser.parse_args()
+
+    if args.clients < 8:
+        print("error: the concurrency claim needs --clients >= 8", file=sys.stderr)
+        return 2
+    seeds = [1] if args.smoke else list(range(1, 9))
+    intervals, instr = (3, 2000) if args.smoke else (10, 8000)
+    reps = 2 if args.smoke else args.reps
+    # Smoke runs a tiny grid on loaded CI boxes, where the fixed ~1ms of
+    # response building dominates sub-10ms walls; the 10% claim is
+    # asserted at bench scale and recorded in BENCH.md.
+    bound = 3.0 if args.smoke else 1.10
+
+    union = _grid(POLICIES, seeds, intervals=intervals, instr=instr)
+    n_cells = len(APPS) * len(POLICIES) * len(seeds)
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp_str:
+        tmp = Path(tmp_str)
+        settings = ServeSettings(port=0, data_dir=tmp / "data", jobs=1, retain=1)
+        handle = start_in_thread(settings)
+        try:
+            client = ServeClient(port=handle.port, timeout=600)
+
+            t0 = time.perf_counter()
+            fan_out(client, args.clients, seeds, intervals=intervals, instr=instr)
+            cold_wall = time.perf_counter() - t0
+            stats = client.stats()
+            counters = stats["counters"]
+            executed = counters.get("serve.cells.executed", 0)
+            writes = stats["store"]["writes"]
+            print(
+                f"fan-out: {args.clients} clients, union {n_cells} cells, "
+                f"{cold_wall:.2f}s cold wall"
+            )
+            print(
+                f"  executed={executed} store-writes={writes} "
+                f"attached={counters.get('serve.sweeps.attached', 0)} "
+                f"coalesced={counters.get('serve.cells.coalesced', 0)} "
+                f"store-hits={counters.get('serve.cells.store_hits', 0)}"
+            )
+            if executed != n_cells or writes != n_cells:
+                print(
+                    f"error: union has {n_cells} distinct cells but the engine "
+                    f"executed {executed} (store wrote {writes}) — coalescing "
+                    "failed to make the work exactly-once",
+                    file=sys.stderr,
+                )
+                return 1
+
+            serve_warm = measure_warm(client, union, reps)
+        finally:
+            handle.stop()
+
+        sweep_warm = measure_sweep_warm(union, settings.resolved_cache_dir(), tmp, reps)
+
+    ratio = serve_warm / sweep_warm if sweep_warm > 0 else float("inf")
+    print(
+        f"warm union sweep ({n_cells} cells, best of {reps}): "
+        f"service {serve_warm * 1e3:.1f}ms vs batch {sweep_warm * 1e3:.1f}ms "
+        f"-> ratio {ratio:.3f}"
+    )
+    if ratio > bound:
+        print(
+            f"error: warm service sweep is {ratio:.2f}x the batch path "
+            f"(bound {bound:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"serve-overhead-ok={ratio:.3f} (bound {bound:.2f})")
+    print(json.dumps({
+        "clients": args.clients, "union_cells": n_cells,
+        "cold_wall_s": round(cold_wall, 3),
+        "serve_warm_s": round(serve_warm, 4), "sweep_warm_s": round(sweep_warm, 4),
+        "ratio": round(ratio, 3),
+    }))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

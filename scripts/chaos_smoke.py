@@ -1,8 +1,10 @@
 #!/usr/bin/env python
-"""Chaos smoke: SIGKILL a sweep mid-flight, resume it, compare aggregates.
+"""Chaos smoke: kill sweep machinery mid-flight, resume, compare aggregates.
 
 CI runs this as a single end-to-end proof of the crash-safety contract
-outside the pytest harness:
+outside the pytest harness, in two modes:
+
+``--mode sweep`` (default) — the batch path:
 
 1. run a small control sweep to completion (no journal) and keep its
    resume-invariant aggregates;
@@ -12,10 +14,18 @@ outside the pytest harness:
    restored rather than recomputed and (b) the aggregates are
    byte-identical to the control's.
 
+``--mode serve`` — the service path:
+
+1. start ``repro serve``, submit the grid, SIGTERM the service once at
+   least one cell is journaled; require a *clean drain* (exit 0);
+2. start a fresh service on the same data dir, resubmit the same grid
+   (it resumes from the journal), and compare the final aggregates to an
+   uninterrupted ``repro sweep`` control byte-for-byte.
+
 Prints ``resumed=<n>`` and ``aggregates-match=yes`` on success (CI greps
 for both); exits non-zero on any violation.
 
-Usage: PYTHONPATH=src python scripts/chaos_smoke.py [--jobs N]
+Usage: PYTHONPATH=src python scripts/chaos_smoke.py [--jobs N] [--mode sweep|serve]
 """
 
 from __future__ import annotations
@@ -41,13 +51,21 @@ AGG_KEYS = (
     "mean_speedups",
 )
 
+GRID = {
+    "apps": ["ft", "cg"],
+    "policies": ["shared", "static-equal"],
+    "intervals": 30,
+    "interval_instructions": 8000,
+}
+
 
 def sweep_argv(jobs: int, journal: Path | None = None, resume: bool = False) -> list[str]:
     argv = [
         sys.executable, "-m", "repro", "sweep",
-        "--apps", "ft", "cg",
-        "--policies", "shared", "static-equal",
-        "--intervals", "30", "--interval-instructions", "8000",
+        "--apps", *GRID["apps"],
+        "--policies", *GRID["policies"],
+        "--intervals", str(GRID["intervals"]),
+        "--interval-instructions", str(GRID["interval_instructions"]),
         "--jobs", str(jobs), "--json",
     ]
     if journal is not None:
@@ -64,21 +82,33 @@ def journal_cells(path: Path) -> int:
         return 0
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--jobs", type=int, default=1)
-    args = parser.parse_args()
-
-    control = json.loads(
+def run_control(jobs: int) -> dict:
+    return json.loads(
         subprocess.run(
-            sweep_argv(args.jobs), capture_output=True, text=True, check=True, timeout=300
+            sweep_argv(jobs), capture_output=True, text=True, check=True, timeout=300
         ).stdout
     )
 
+
+def compare_aggregates(final: dict, control: dict) -> int:
+    mismatched = [
+        key
+        for key in AGG_KEYS
+        if json.dumps(final[key], sort_keys=True) != json.dumps(control[key], sort_keys=True)
+    ]
+    if mismatched:
+        print(f"aggregates-match=no ({', '.join(mismatched)} diverged)", file=sys.stderr)
+        return 1
+    print("aggregates-match=yes")
+    return 0
+
+
+def sweep_mode(jobs: int) -> int:
+    control = run_control(jobs)
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
         journal = Path(tmp) / "sweep.jsonl"
         victim = subprocess.Popen(
-            sweep_argv(args.jobs, journal), stdout=subprocess.DEVNULL
+            sweep_argv(jobs, journal), stdout=subprocess.DEVNULL
         )
         deadline = time.monotonic() + 120
         while time.monotonic() < deadline:
@@ -101,7 +131,7 @@ def main() -> int:
 
         resumed = json.loads(
             subprocess.run(
-                sweep_argv(args.jobs, journal, resume=True),
+                sweep_argv(jobs, journal, resume=True),
                 capture_output=True,
                 text=True,
                 check=True,
@@ -117,16 +147,110 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    mismatched = [
-        key
-        for key in AGG_KEYS
-        if json.dumps(resumed[key], sort_keys=True) != json.dumps(control[key], sort_keys=True)
-    ]
-    if mismatched:
-        print(f"aggregates-match=no ({', '.join(mismatched)} diverged)", file=sys.stderr)
-        return 1
-    print("aggregates-match=yes")
-    return 0
+    return compare_aggregates(resumed, control)
+
+
+def start_serve(tmp: Path, data_dir: Path, jobs: int) -> tuple[subprocess.Popen, int]:
+    port_file = tmp / f"port-{time.monotonic_ns()}"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--port-file", str(port_file),
+            "--data-dir", str(data_dir), "--jobs", str(jobs),
+            "--batch-size", "1",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if port_file.is_file() and port_file.read_text().strip():
+            return proc, int(port_file.read_text().strip())
+        if proc.poll() is not None:
+            raise RuntimeError(f"serve died at startup:\n{proc.stdout.read()}")
+        time.sleep(0.02)
+    proc.kill()
+    raise RuntimeError("serve did not write its port file in time")
+
+
+def serve_mode(jobs: int) -> int:
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import SweepRequest
+
+    control = run_control(jobs)
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-serve-") as tmp_str:
+        tmp = Path(tmp_str)
+        data_dir = tmp / "serve-data"
+        sweep_id = SweepRequest.from_dict(GRID).sweep_id
+        journal = data_dir / "journals" / f"{sweep_id}.jsonl"
+
+        proc, port = start_serve(tmp, data_dir, jobs)
+        try:
+            ServeClient(port=port).submit(GRID)
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if journal_cells(journal) >= 1:
+                    proc.send_signal(signal.SIGTERM)
+                    break
+                time.sleep(0.005)
+            proc.wait(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        output = proc.stdout.read()
+        if proc.returncode != 0:
+            print(
+                f"error: serve exited {proc.returncode} on SIGTERM (want 0):\n{output}",
+                file=sys.stderr,
+            )
+            return 1
+        if "drained cleanly" not in output:
+            print(f"error: serve did not report a clean drain:\n{output}", file=sys.stderr)
+            return 1
+        completed = journal_cells(journal)
+        if not 1 <= completed < 4:
+            print(
+                f"error: SIGTERM landed with {completed} cell(s) journaled — "
+                "not mid-sweep; timing too coarse for this host",
+                file=sys.stderr,
+            )
+            return 1
+        if not journal.read_bytes().endswith(b"\n"):
+            print("error: journal is not newline-terminated after the drain", file=sys.stderr)
+            return 1
+        print(f"serve drained cleanly with {completed} cell(s) journaled")
+
+        proc, port = start_serve(tmp, data_dir, jobs)
+        try:
+            final = ServeClient(port=port).run({**GRID, "client": "chaos-smoke"})
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=120)
+        if proc.returncode != 0:
+            print(f"error: second serve exited {proc.returncode}", file=sys.stderr)
+            return 1
+        if final["status"] != "done":
+            print(f"error: resumed sweep ended {final['status']!r}", file=sys.stderr)
+            return 1
+        print(f"resumed={final['resumed']} executed={final['executed']}")
+        if final["resumed"] != completed:
+            print(
+                f"error: {completed} cells were journaled but only "
+                f"{final['resumed']} restored",
+                file=sys.stderr,
+            )
+            return 1
+        return compare_aggregates(final["result"], control)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--mode", choices=("sweep", "serve"), default="sweep",
+        help="kill the batch CLI (sweep, default) or the service (serve)",
+    )
+    args = parser.parse_args()
+    return sweep_mode(args.jobs) if args.mode == "sweep" else serve_mode(args.jobs)
 
 
 if __name__ == "__main__":

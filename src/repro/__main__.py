@@ -6,6 +6,9 @@ run        simulate one application under one policy
 compare    run all policies on one or more applications
 figure     regenerate a paper figure/table by id (fig3, fig20, ...)
 sweep      fan a grid of apps x policies x seeds x thread-counts out
+serve      run the sweep service: accept grids over HTTP, coalesce
+           duplicate work, stream progress (DESIGN.md §F)
+submit     submit a sweep grid to a running ``repro serve`` and wait
 report     summarize a telemetry trace written by ``--trace``
 list       list workloads, policies and experiments
 
@@ -65,6 +68,7 @@ from repro.obs import (
 )
 from repro.partition import POLICY_REGISTRY
 from repro.prep import configure_prep, get_prep_store
+from repro.serve.protocol import DEFAULT_PORT
 from repro.sim.config import SystemConfig
 from repro.trace.workloads import list_workloads
 
@@ -235,6 +239,130 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_exec_args(p_sw)
 
+    def _validate_sweep(args: argparse.Namespace) -> None:
+        # Cross-argument checks argparse cannot express declaratively,
+        # surfaced with usage + exit 2 like any other argument error.
+        if args.resume and not args.journal:
+            p_sw.error("--resume requires --journal PATH to resume from")
+        if args.journal and Path(args.journal).is_dir():
+            p_sw.error(
+                f"--journal {args.journal!r} is a directory; pass a file path "
+                "(the journal is one JSONL file per sweep)"
+            )
+
+    p_sw.set_defaults(_validate=_validate_sweep)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the sweep service (HTTP on localhost; DESIGN.md §F)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address (default localhost)")
+    p_srv.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"TCP port (default {DEFAULT_PORT}; 0 picks a free port)",
+    )
+    p_srv.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port to PATH once listening (for scripts; "
+        "pairs with --port 0)",
+    )
+    p_srv.add_argument(
+        "--data-dir", default="serve-data", metavar="DIR",
+        help="service state root: journals/ for crash-resumable sweeps, "
+        "store/ for the shared result cache (default ./serve-data)",
+    )
+    p_srv.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for simulations (>= 1; 1 = serial, default)",
+    )
+    p_srv.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result store location (default: <data-dir>/store)",
+    )
+    p_srv.add_argument(
+        "--prep-dir", default=None, metavar="DIR",
+        help="prepared-program artifact cache shared with batch commands",
+    )
+    p_srv.add_argument(
+        "--max-pending-cells", type=_positive_int, default=512, metavar="N",
+        help="admission bound on queued+executing cells (default 512); "
+        "submissions that would exceed it get 429 + Retry-After",
+    )
+    p_srv.add_argument(
+        "--max-active-sweeps", type=_positive_int, default=64, metavar="N",
+        help="global cap on concurrently running sweeps (default 64)",
+    )
+    p_srv.add_argument(
+        "--max-sweeps-per-client", type=_positive_int, default=8, metavar="N",
+        help="per-client concurrent sweep quota (default 8)",
+    )
+    p_srv.add_argument(
+        "--batch-size", type=_positive_int, default=None, metavar="N",
+        help="cells per engine batch (default: 2 x jobs; smaller batches "
+        "drain faster on shutdown)",
+    )
+    p_srv.add_argument(
+        "--retain", type=_positive_int, default=64, metavar="N",
+        help="finished sweeps kept in memory for attach/replay (default 64; "
+        "older sweeps fall back to their on-disk journals)",
+    )
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a sweep grid to a running `repro serve` and wait"
+    )
+    p_sub.add_argument(
+        "--server", default=f"127.0.0.1:{DEFAULT_PORT}", metavar="HOST:PORT",
+        help=f"service endpoint (default 127.0.0.1:{DEFAULT_PORT})",
+    )
+    p_sub.add_argument(
+        "--client", default=None, metavar="NAME",
+        help="client name for quotas/attribution (default: user@host)",
+    )
+    p_sub.add_argument(
+        "--apps", nargs="+", default=None, metavar="APP",
+        help="workloads to sweep (default: all)",
+    )
+    p_sub.add_argument(
+        "--policies", nargs="+", default=None, metavar="POLICY",
+        type=_policy_name, choices=sorted(POLICY_REGISTRY),
+        help="policies to sweep (default: shared, static-equal, throughput, model-based)",
+    )
+    p_sub.add_argument(
+        "--seeds", nargs="+", type=int, default=[1], metavar="SEED",
+        help="workload seeds to sweep",
+    )
+    p_sub.add_argument(
+        "--thread-counts", nargs="+", type=int, default=[4], metavar="N",
+        help="core/thread counts to sweep",
+    )
+    p_sub.add_argument(
+        "--baseline", default=None,
+        help="policy speedups are measured against (default: shared if swept)",
+    )
+    p_sub.add_argument("--intervals", type=int, default=50, help="execution intervals")
+    p_sub.add_argument(
+        "--interval-instructions", type=int, default=20_000,
+        help="instructions per thread per interval",
+    )
+    p_sub.add_argument(
+        "--cache-backend", default="fast", choices=("fast", "reference"),
+        help="shared-L2 implementation (must match other submitters for "
+        "coalescing: the backend is part of the cell identity)",
+    )
+    p_sub.add_argument(
+        "--no-resume", action="store_true",
+        help="start the sweep fresh even if the service holds a resumable "
+        "journal for this grid",
+    )
+    p_sub.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="per-request socket timeout in seconds (default 600)",
+    )
+    p_sub.add_argument("--json", action="store_true", help="emit JSON instead of ASCII")
+    p_sub.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print the live event stream to stderr while waiting",
+    )
+
     p_rep = sub.add_parser("report", help="summarize a JSONL trace written by --trace")
     p_rep.add_argument("trace", help="path to a .jsonl trace file")
     p_rep.add_argument(
@@ -286,6 +414,8 @@ def _report_execution(args: argparse.Namespace) -> None:
             f" store-misses={s['misses']} store-writes={s['writes']}"
             f" store-corrupt={s['corrupt']}"
         )
+        if s.get("stale_swept"):
+            line += f" store-stale-swept={s['stale_swept']}"
     line += _prep_suffix()
     line += _crash_suffix()
     print(line, file=sys.stderr)
@@ -298,10 +428,13 @@ def _prep_suffix() -> str:
     if prep is None:
         return ""
     p = prep.stats()
-    return (
+    out = (
         f" prep-hits={p['hits']} prep-misses={p['misses']}"
         f" prep-writes={p['writes']} prep-corrupt={p['corrupt']}"
     )
+    if p.get("stale_swept"):
+        out += f" prep-stale-swept={p['stale_swept']}"
+    return out
 
 
 def _crash_suffix() -> str:
@@ -316,14 +449,24 @@ def _crash_suffix() -> str:
     faults = sum(v for k, v in counters.items() if k.startswith("faults.injected."))
     if faults:
         parts.append(f" faults-injected={faults}")
-    stale = counters.get("store.stale_swept", 0) + counters.get("prep.stale_swept", 0)
-    if stale:
-        parts.append(f" stale-swept={stale}")
     return "".join(parts)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    validate = getattr(args, "_validate", None)
+    if validate is not None:
+        try:
+            validate(args)
+        except SystemExit as exc:  # parser.error(); keep main() returning an int
+            return int(exc.code or 0)
+
+    if args.command == "serve":
+        return _serve_command(args)
+
+    if args.command == "submit":
+        return _submit_command(args)
 
     if args.command == "list":
         print("workloads:  " + ", ".join(list_workloads()))
@@ -444,9 +587,6 @@ def _sweep_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.resume and not args.journal:
-        print("--resume needs --journal PATH to resume from", file=sys.stderr)
-        return 2
     config = SystemConfig.default().with_(
         n_intervals=args.intervals,
         interval_instructions=args.interval_instructions,
@@ -509,10 +649,146 @@ def _sweep_command(args: argparse.Namespace) -> int:
                 f" store-misses={s['misses']} store-writes={s['writes']}"
                 f" store-corrupt={s['corrupt']}"
             )
+            if s.get("stale_swept"):
+                line += f" store-stale-swept={s['stale_swept']}"
         line += _prep_suffix()
         line += _crash_suffix()
         print(line, file=sys.stderr)
     return 0 if not result.failures else 1
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    from repro.serve.runner import ServeSettings, run_server
+
+    settings = ServeSettings(
+        host=args.host,
+        port=args.port,
+        data_dir=Path(args.data_dir),
+        jobs=args.jobs,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        prep_dir=Path(args.prep_dir) if args.prep_dir else None,
+        max_pending_cells=args.max_pending_cells,
+        max_active_sweeps=args.max_active_sweeps,
+        max_sweeps_per_client=args.max_sweeps_per_client,
+        batch_size=args.batch_size,
+        retain=args.retain,
+        port_file=Path(args.port_file) if args.port_file else None,
+    )
+    try:
+        return run_server(settings)
+    except OSError as exc:  # port in use, bad bind address, ...
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+
+
+def _default_client_name() -> str:
+    import getpass
+    import socket
+
+    try:
+        user = getpass.getuser()
+    except (KeyError, OSError):  # no passwd entry (containers)
+        user = "unknown"
+    return f"{user}@{socket.gethostname()}"
+
+
+def _submit_command(args: argparse.Namespace) -> int:
+    from repro.serve.client import Backpressure, ServeClient, ServeError
+
+    host, _, port = args.server.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"submit: --server must be HOST:PORT, got {args.server!r}", file=sys.stderr)
+        return 2
+    client = ServeClient(host, int(port), timeout=args.timeout)
+    request = {
+        "apps": args.apps or list_workloads(),
+        "policies": args.policies
+        or ["shared", "static-equal", "throughput", "model-based"],
+        "seeds": args.seeds,
+        "thread_counts": args.thread_counts,
+        "intervals": args.intervals,
+        "interval_instructions": args.interval_instructions,
+        "cache_backend": args.cache_backend,
+        "client": args.client or _default_client_name(),
+        "resume": not args.no_resume,
+    }
+    if args.baseline is not None:
+        request["baseline"] = args.baseline
+    try:
+        submission = client.submit(request)
+        sweep_id = submission["sweep_id"]
+        if args.verbose:
+            verb = "attached to" if submission.get("attached") else "submitted"
+            print(
+                f"submit: {verb} sweep {sweep_id[:12]} "
+                f"({submission['total_cells']} cells; "
+                f"resumed={submission.get('resumed', 0)} "
+                f"store={submission.get('store_hits', 0)} "
+                f"coalesced={submission.get('coalesced', 0)} "
+                f"scheduled={submission.get('scheduled', 0)})",
+                file=sys.stderr,
+            )
+            for event in client.events(sweep_id):
+                if event.get("event") == "cell":
+                    print(
+                        f"submit: [{event['completed']}/{event['total']}] "
+                        f"{event['app']}/{event['policy']} seed={event['seed']} "
+                        f"t={event['n_threads']} source={event['source']}"
+                        + ("" if event["ok"] else f" ERROR: {event['error']}"),
+                        file=sys.stderr,
+                    )
+        final = client.wait(sweep_id)
+    except Backpressure as exc:
+        print(
+            f"submit: service is at capacity ({exc}); retry in "
+            f"{exc.retry_after_s:.0f}s",
+            file=sys.stderr,
+        )
+        return 3
+    except ServeError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, TimeoutError, OSError) as exc:
+        print(
+            f"submit: cannot reach service at {args.server}: {exc} "
+            "(is `repro serve` running?)",
+            file=sys.stderr,
+        )
+        return 1
+
+    status = final.get("status")
+    if args.json:
+        json.dump(final, sys.stdout, indent=2)
+        print()
+    elif status == "done":
+        result = final.get("result", {})
+        print(_format_submit_result(final, result))
+    else:
+        print(f"submit: sweep {final['sweep_id'][:12]} ended with status {status!r}")
+    if status != "done":
+        return 1
+    return 0 if not final.get("failures") else 1
+
+
+def _format_submit_result(final: dict, result: dict) -> str:
+    """Human summary of a completed service sweep (mirrors the tail of
+    ``SweepResult.format()`` without needing the cells client-side)."""
+    lines = [
+        f"sweep {final['sweep_id'][:12]}: {final['completed']}/{final['total_cells']} "
+        f"cells in {final['wall_s']:.2f}s "
+        f"(executed={final['executed']} store={final['store_hits']} "
+        f"coalesced={final['coalesced']} resumed={final['resumed']})",
+    ]
+    speedups = result.get("mean_speedups") or {}
+    baseline = result.get("baseline")
+    if speedups:
+        lines.append(f"mean speedup over {baseline}:")
+        for policy, per_app in sorted(speedups.items()):
+            apps = " ".join(f"{app}={val:+.1%}" for app, val in sorted(per_app.items()))
+            lines.append(f"  {policy:<18} {apps}")
+    if final.get("failures"):
+        lines.append(f"failures: {final['failures']}")
+    return "\n".join(lines)
 
 
 def _interrupted_sweep(args: argparse.Namespace, signame: str) -> int:

@@ -40,7 +40,7 @@ from repro.exec.jobs import JobOutcome, JobSpec
 from repro.exec.journal import JournalEntry, JournalMismatchError, SweepJournal
 from repro.exec.pool import ProcessPoolEngine
 from repro.exec.store import ResultStore
-from repro.exec.sweep import SweepResult, run_sweep
+from repro.exec.sweep import SweepResult, expand_grid, grid_key, run_sweep
 
 __all__ = [
     "ExecutionEngine",
@@ -57,7 +57,9 @@ __all__ = [
     "SweepJournal",
     "SweepResult",
     "execute_job",
+    "expand_grid",
     "get_fault_plan",
+    "grid_key",
     "run_sweep",
     "set_fault_plan",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.records import RunResult
 from repro.sim.config import SystemConfig
@@ -44,9 +45,13 @@ class JobSpec:
         """Deterministic JSON encoding (sorted keys, no whitespace)."""
         return json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
 
-    @property
+    @cached_property
     def digest(self) -> str:
-        """SHA-256 hex digest of :meth:`canonical_json` — the store key."""
+        """SHA-256 hex digest of :meth:`canonical_json` — the store key.
+
+        Cached: the spec is frozen, and hot paths (store lookups, journal
+        keys, the service's admission count) ask repeatedly.
+        """
         return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
     @property

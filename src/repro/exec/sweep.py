@@ -43,7 +43,7 @@ from repro.exec.store import ResultStore
 from repro.obs.metrics import METRICS
 from repro.sim.config import SystemConfig
 
-__all__ = ["SweepCell", "SweepResult", "run_sweep"]
+__all__ = ["SweepCell", "SweepResult", "expand_grid", "grid_key", "run_sweep"]
 
 
 @dataclass(frozen=True)
@@ -221,7 +221,7 @@ class SweepResult:
         }
 
 
-def _grid_key(
+def grid_key(
     apps: Sequence[str],
     policies: Sequence[str],
     seeds: Sequence[int],
@@ -231,7 +231,11 @@ def _grid_key(
 ) -> dict:
     """Identity of a sweep for journal compatibility: everything that
     shapes the grid's JobSpecs, plus the simulator version (a version
-    bump changes results, so resuming across one would mix outputs)."""
+    bump changes results, so resuming across one would mix outputs).
+
+    ``repro.serve`` content-addresses whole sweeps by the digest of this
+    key, so two clients submitting the same grid share one sweep.
+    """
     return {
         "apps": list(apps),
         "policies": list(policies),
@@ -241,6 +245,27 @@ def _grid_key(
         "config": config.to_dict(),
         "version": repro.__version__,
     }
+
+
+def expand_grid(
+    apps: Sequence[str],
+    policies: Sequence[str],
+    seeds: Sequence[int],
+    thread_counts: Sequence[int],
+    config: SystemConfig,
+) -> list[JobSpec]:
+    """Expand the grid into JobSpecs in the canonical sweep order
+    (apps x policies x seeds x thread-counts, outermost first).  Every
+    consumer of a grid — ``run_sweep`` and the serve layer — must use
+    this expansion so cell ordering (and therefore aggregate bytes) is
+    identical everywhere."""
+    return [
+        JobSpec(app, policy, config.with_(seed=seed, n_threads=n_threads))
+        for app in apps
+        for policy in policies
+        for seed in seeds
+        for n_threads in thread_counts
+    ]
 
 
 def run_sweep(
@@ -283,17 +308,11 @@ def run_sweep(
     if resume and journal is None:
         raise ValueError("resume=True needs a journal to resume from")
 
-    grid: list[JobSpec] = [
-        JobSpec(app, policy, config.with_(seed=seed, n_threads=n_threads))
-        for app in apps
-        for policy in policies
-        for seed in seeds
-        for n_threads in thread_counts
-    ]
+    grid = expand_grid(apps, policies, seeds, thread_counts, config)
 
     owns_journal = journal is not None and not isinstance(journal, SweepJournal)
     if owns_journal:
-        key = _grid_key(apps, policies, seeds, thread_counts, baseline, config)
+        key = grid_key(apps, policies, seeds, thread_counts, baseline, config)
         journal = SweepJournal.resume(journal, key) if resume else SweepJournal.begin(journal, key)
 
     start = time.perf_counter()

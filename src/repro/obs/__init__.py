@@ -32,9 +32,12 @@ from repro.obs.events import (
     MetricsEvent,
     RepartitionEvent,
     RetryEvent,
+    ServeDrainEvent,
     SpanEvent,
     StoreHitEvent,
     StoreMissEvent,
+    SweepRejectedEvent,
+    SweepSubmittedEvent,
 )
 from repro.obs.export import chrome_trace, read_events, summarize, write_chrome_trace
 from repro.obs.metrics import METRICS, Counter, Gauge, Metrics, Timer
@@ -68,9 +71,12 @@ __all__ = [
     "RecordingTracer",
     "RepartitionEvent",
     "RetryEvent",
+    "ServeDrainEvent",
     "SpanEvent",
     "StoreHitEvent",
     "StoreMissEvent",
+    "SweepRejectedEvent",
+    "SweepSubmittedEvent",
     "Timer",
     "Tracer",
     "chrome_trace",

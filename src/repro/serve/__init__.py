@@ -1,0 +1,57 @@
+"""repro.serve — async sweep service over the execution layer.
+
+``repro serve`` turns the repo's batch sweep machinery into a long-lived
+localhost service (DESIGN.md §F): many concurrent clients POST sweep
+grids, the service coalesces duplicate work down to one simulation per
+content-addressed cell, admission control sheds load it cannot absorb
+(429 + Retry-After), and every sweep's progress is streamable as NDJSON
+while its journal makes it crash-resumable.  Stdlib asyncio only — no
+new dependencies.
+
+Layers, bottom-up:
+
+* :mod:`repro.serve.protocol` — requests, content-addressed sweep
+  identity, stream event records;
+* :mod:`repro.serve.scheduler` — bridge from the event loop to the
+  blocking engines (one consumer task, bounded batches);
+* :mod:`repro.serve.coalescer` — digest -> in-flight-future registry;
+* :mod:`repro.serve.admission` — quotas, backlog bound, Retry-After;
+* :mod:`repro.serve.service` — sweep tasks, journals, event streams;
+* :mod:`repro.serve.http` — the five-route HTTP/1.1 front-end;
+* :mod:`repro.serve.runner` — lifecycle, signals, test harness;
+* :mod:`repro.serve.client` — blocking client (``repro submit``).
+"""
+
+from repro.serve.admission import AdmissionController, Rejection
+from repro.serve.client import Backpressure, ServeClient, ServeError
+from repro.serve.coalescer import CellCoalescer
+from repro.serve.protocol import DEFAULT_PORT, RequestError, SweepRequest
+from repro.serve.runner import (
+    ServeSettings,
+    ServerHandle,
+    run_server,
+    serve_forever,
+    start_in_thread,
+)
+from repro.serve.scheduler import EngineScheduler
+from repro.serve.service import SweepService, SweepTask
+
+__all__ = [
+    "AdmissionController",
+    "Backpressure",
+    "CellCoalescer",
+    "DEFAULT_PORT",
+    "EngineScheduler",
+    "Rejection",
+    "RequestError",
+    "ServeClient",
+    "ServeError",
+    "ServeSettings",
+    "ServerHandle",
+    "SweepRequest",
+    "SweepService",
+    "SweepTask",
+    "run_server",
+    "serve_forever",
+    "start_in_thread",
+]

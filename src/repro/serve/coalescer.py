@@ -1,0 +1,75 @@
+"""Request coalescing: one execution per content-addressed cell.
+
+The store already dedupes across *time* (a digest computed once is never
+recomputed); the coalescer dedupes across *concurrent* clients: every
+cell in flight is registered here under its
+:attr:`~repro.exec.jobs.JobSpec.digest`, and a second sweep wanting the
+same digest attaches to the existing future instead of scheduling a
+twin.  Together the two make overlapping submissions from N clients cost
+exactly one simulation per distinct cell — the Com-CAS daemon shape,
+with content addressing doing the request matching for free.
+
+Purely single-threaded asyncio state: every method must be called from
+the event-loop thread (the scheduler delivers outcomes back onto the
+loop via ``call_soon_threadsafe``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.exec.jobs import JobSpec
+from repro.obs.metrics import METRICS
+
+__all__ = ["CellCoalescer"]
+
+
+class CellCoalescer:
+    """Digest -> in-flight future registry over an
+    :class:`~repro.serve.scheduler.EngineScheduler`."""
+
+    def __init__(self, scheduler) -> None:
+        self._scheduler = scheduler
+        self._in_flight: dict[str, asyncio.Future] = {}
+        self.coalesced = 0
+        self.scheduled = 0
+
+    def in_flight(self, digest: str) -> bool:
+        fut = self._in_flight.get(digest)
+        return fut is not None and not fut.done()
+
+    @property
+    def in_flight_count(self) -> int:
+        return sum(1 for f in self._in_flight.values() if not f.done())
+
+    def acquire(self, spec: JobSpec) -> tuple[bool, asyncio.Future]:
+        """Return ``(coalesced, future)`` for ``spec``'s outcome.
+
+        ``coalesced`` is True when the cell was already executing for
+        another sweep; otherwise the cell is enqueued on the scheduler
+        and a fresh future is registered.  The future resolves to the
+        cell's :class:`~repro.exec.jobs.JobOutcome` — or to ``None`` if
+        the service drained before the cell was dispatched.
+        """
+        fut = self._in_flight.get(spec.digest)
+        if fut is not None and not fut.done():
+            self.coalesced += 1
+            METRICS.counter("serve.cells.coalesced").inc()
+            return True, fut
+        fut = asyncio.get_running_loop().create_future()
+        self._in_flight[spec.digest] = fut
+        fut.add_done_callback(self._make_reaper(spec.digest))
+        self.scheduled += 1
+        METRICS.counter("serve.cells.scheduled").inc()
+        self._scheduler.submit(spec, fut)
+        return False, fut
+
+    def _make_reaper(self, digest: str):
+        def _reap(fut: asyncio.Future) -> None:
+            # Only evict our own registration: a later acquire() of the
+            # same digest (e.g. a failed cell being re-attempted) may
+            # have replaced it with a fresh future.
+            if self._in_flight.get(digest) is fut:
+                del self._in_flight[digest]
+
+        return _reap

@@ -1,0 +1,214 @@
+"""Minimal asyncio HTTP/1.1 front-end for the sweep service.
+
+Stdlib-only by design (ISSUE: no new dependencies): a hand-rolled
+request parser over ``asyncio.start_server`` serving exactly the five
+routes the service needs —
+
+* ``GET /healthz`` — liveness (also reports draining);
+* ``GET /v1/stats`` — service counters + store stats;
+* ``POST /v1/sweeps`` — submit a sweep (202 admitted / 200 attached /
+  429 backpressure with ``Retry-After`` / 400 invalid / 503 draining);
+* ``GET /v1/sweeps/<id>`` — sweep status (running, retained or archived
+  from its on-disk journal);
+* ``GET /v1/sweeps/<id>/events`` — NDJSON stream: journal/history
+  replay, then live tail until the sweep reaches a terminal status.
+
+Every response closes the connection (``Connection: close``) — clients
+are simple, and the stream endpoint is long-lived anyway.  The parser is
+deliberately strict and small: requests over ``MAX_BODY`` bytes or with
+malformed framing get a 4xx and the connection dropped; this is a
+localhost service for sweep submission, not a general web server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.metrics import METRICS
+from repro.serve.service import SweepService
+
+__all__ = ["handle_connection", "start_http_server"]
+
+MAX_HEADER = 16 * 1024
+MAX_BODY = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    503: "Service Unavailable",
+}
+
+
+def _response_head(status: int, content_type: str, extra: dict | None = None) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    for key, value in (extra or {}).items():
+        lines.append(f"{key}: {value}")
+    return ("\r\n".join(lines) + "\r\n").encode("ascii")
+
+
+def _json_response(status: int, body: dict, extra: dict | None = None) -> bytes:
+    payload = (json.dumps(body) + "\n").encode("utf-8")
+    head = _response_head(
+        status, "application/json",
+        {**(extra or {}), "Content-Length": str(len(payload))},
+    )
+    return head + b"\r\n" + payload
+
+
+async def _read_request(reader: asyncio.StreamReader) -> tuple[str, str, bytes] | None:
+    """Parse one request; returns ``(method, path, body)`` or ``None`` on
+    a connection closed before/amid the head."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
+        return None
+    except asyncio.LimitOverrunError:
+        raise ValueError("request head too large")
+    if len(head) > MAX_HEADER:
+        raise ValueError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line: {lines[0]!r}")
+    method, path, _version = parts
+    length = 0
+    for line in lines[1:]:
+        if ":" not in line:
+            continue
+        name, value = line.split(":", 1)
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                raise ValueError("bad Content-Length") from None
+    if length > MAX_BODY:
+        raise ValueError("body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body
+
+
+async def handle_connection(
+    service: SweepService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One connection = one request = one response (Connection: close)."""
+    try:
+        try:
+            request = await _read_request(reader)
+        except ValueError as exc:
+            writer.write(_json_response(400, {"error": str(exc)}))
+            await writer.drain()
+            return
+        except asyncio.IncompleteReadError:
+            return
+        if request is None:
+            return
+        method, path, body = request
+        await _route(service, method, path, body, writer)
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client went away mid-response; nothing to salvage
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _route(
+    service: SweepService, method: str, path: str, body: bytes,
+    writer: asyncio.StreamWriter,
+) -> None:
+    if path == "/healthz" and method == "GET":
+        writer.write(_json_response(200, {
+            "status": "draining" if service.draining else "ok",
+        }))
+        await writer.drain()
+        return
+    if path == "/v1/stats" and method == "GET":
+        writer.write(_json_response(200, service.stats()))
+        await writer.drain()
+        return
+    if path == "/v1/sweeps":
+        if method != "POST":
+            writer.write(_json_response(405, {"error": "use POST"}))
+            await writer.drain()
+            return
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            writer.write(_json_response(400, {"error": "body is not valid JSON"}))
+            await writer.drain()
+            return
+        status, response = service.submit(payload)
+        extra = {}
+        if status == 429:
+            extra["Retry-After"] = str(max(1, round(response.get("retry_after_s", 1))))
+        writer.write(_json_response(status, response, extra))
+        await writer.drain()
+        return
+    if path.startswith("/v1/sweeps/") and method == "GET":
+        rest = path[len("/v1/sweeps/"):]
+        if rest.endswith("/events"):
+            await _stream_events(service, rest[: -len("/events")].rstrip("/"), writer)
+            return
+        sweep_id = rest.rstrip("/")
+        task = service.get(sweep_id)
+        if task is not None:
+            writer.write(_json_response(200, task.describe()))
+        else:
+            archived = service.archived_status(sweep_id)
+            if archived is not None:
+                writer.write(_json_response(200, archived))
+            else:
+                writer.write(_json_response(404, {"error": f"unknown sweep {sweep_id!r}"}))
+        await writer.drain()
+        return
+    writer.write(_json_response(404, {"error": f"no route for {method} {path}"}))
+    await writer.drain()
+
+
+async def _stream_events(
+    service: SweepService, sweep_id: str, writer: asyncio.StreamWriter
+) -> None:
+    """``GET /v1/sweeps/<id>/events``: NDJSON, replay then live tail."""
+    task = service.get(sweep_id)
+    if task is None:
+        archived = service.archived_events(sweep_id)
+        if archived is None:
+            writer.write(_json_response(404, {"error": f"unknown sweep {sweep_id!r}"}))
+            await writer.drain()
+            return
+        writer.write(_response_head(200, "application/x-ndjson") + b"\r\n")
+        for event in archived:
+            writer.write((json.dumps(event) + "\n").encode("utf-8"))
+        await writer.drain()
+        return
+    METRICS.counter("serve.streams").inc()
+    writer.write(_response_head(200, "application/x-ndjson") + b"\r\n")
+    await writer.drain()
+    async for event in task.stream():
+        writer.write((json.dumps(event) + "\n").encode("utf-8"))
+        await writer.drain()
+
+
+async def start_http_server(
+    service: SweepService, host: str, port: int
+) -> asyncio.base_events.Server:
+    """Bind and start serving; the caller owns the returned server."""
+
+    async def _handler(reader, writer):
+        await handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(_handler, host, port, limit=MAX_HEADER)

@@ -351,3 +351,81 @@ class TestCrashSafetyCli:
         assert main([*self.SWEEP, "--faults", plan, "-v"]) == 0
         err = capsys.readouterr().err
         assert "faults-injected=2" in err
+
+
+class TestServeCli:
+    """`repro serve` / `repro submit` parsing plus the argparse-level
+    sweep validation (satellites of the service PR)."""
+
+    SWEEP = TestCrashSafetyCli.SWEEP
+
+    def test_journal_must_not_be_a_directory(self, tmp_path, capsys):
+        assert main([*self.SWEEP, "--journal", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "is a directory" in err and "usage:" in err
+
+    def test_resume_without_journal_shows_usage(self, capsys):
+        assert main([*self.SWEEP, "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "--resume requires --journal" in err and "usage:" in err
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8787
+        assert args.data_dir == "serve-data"
+        assert args.jobs == 1
+        assert args.max_pending_cells == 512
+        assert args.max_sweeps_per_client == 8
+
+    def test_serve_rejects_bad_limits(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["serve", "--max-pending-cells", "0"])
+        assert exc.value.code == 2
+
+    def test_submit_defaults_mirror_sweep(self):
+        args = build_parser().parse_args(["submit"])
+        assert args.server == "127.0.0.1:8787"
+        assert args.seeds == [1]
+        assert args.thread_counts == [4]
+        assert args.cache_backend == "fast"
+        assert not args.no_resume
+
+    def test_submit_policy_aliases_normalised(self):
+        args = build_parser().parse_args(["submit", "--policies", "equal", "model"])
+        assert args.policies == ["static-equal", "model-based"]
+
+    def test_submit_bad_server_exits_2(self, capsys):
+        assert main(["submit", "--server", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_exits_1(self, capsys):
+        # Port 1 is never listening; the failure must be a message, not
+        # a traceback.
+        assert main([
+            "submit", "--server", "127.0.0.1:1", "--apps", "ft",
+            "--policies", "shared", "--timeout", "2",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "cannot reach service" in err and "repro serve" in err
+
+    def test_submit_against_live_service(self, tmp_path, capsys):
+        from repro.serve.runner import ServeSettings, start_in_thread
+
+        settings = ServeSettings(port=0, data_dir=tmp_path / "data", jobs=1)
+        handle = start_in_thread(settings)
+        try:
+            argv = [
+                "submit", "--server", f"127.0.0.1:{handle.port}",
+                "--apps", "ft", "--policies", "shared", "static-equal",
+                "--intervals", "3", "--interval-instructions", "2000",
+            ]
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert "2/2 cells" in out and "mean speedup over shared" in out
+            # Second submission: same grid, runs warm (attach or store).
+            assert main([*argv, "--json"]) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["status"] == "done"
+            assert data["result"]["n_failures"] == 0
+        finally:
+            handle.stop()
