@@ -1,0 +1,154 @@
+"""Distributed sweep scaling: 1/2/4 worker processes on the Figs. 19-21 slice.
+
+Measures what the remote fleet actually buys.  Worker processes escape
+the coordinator's GIL (a pool of *threads* would not — each job is a
+CPU-bound Python simulation), so the ceiling is one job's wall time plus
+the wire and dispatch overhead.  For every fleet size the benchmark:
+
+1. starts N fresh ``repro worker`` subprocesses (startup excluded from
+   the timed region — port files gate the start);
+2. runs the slice through :class:`~repro.dist.RemoteEngine`, best of
+   ``--reps`` walls;
+3. asserts the aggregates are byte-identical to a serial control — a
+   scaling number from a fleet that computes something else is not a
+   scaling number.
+
+Reported per fleet: wall, speedup over the 1-worker fleet, and parallel
+efficiency (speedup / N).  Perfect scaling is impossible on this grid —
+12 jobs over 4 workers gives a critical path of 3 jobs and the jobs are
+not equal-sized — so the efficiency column is the honest figure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dist_scaling.py          # BENCH.md numbers
+    PYTHONPATH=src python benchmarks/bench_dist_scaling.py --smoke  # CI guard
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.dist import RemoteEngine
+from repro.exec.engine import SerialEngine
+from repro.exec.sweep import run_sweep
+from repro.sim.config import SystemConfig
+
+
+def start_worker(tmp: Path, idx: int) -> tuple[subprocess.Popen, tuple[str, int]]:
+    port_file = tmp / f"port-{idx}-{time.monotonic_ns()}"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--port", "0", "--port-file", str(port_file),
+            "--worker-id", f"bench-w{idx}",
+        ],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if port_file.is_file() and port_file.read_text().strip():
+            return proc, ("127.0.0.1", int(port_file.read_text().strip()))
+        if proc.poll() is not None:
+            raise RuntimeError(f"worker {idx} died at startup (rc={proc.returncode})")
+        time.sleep(0.02)
+    proc.kill()
+    raise RuntimeError(f"worker {idx} did not write its port file in time")
+
+
+def measure_fleet(
+    n_workers: int, apps, policies, config: SystemConfig, reps: int, tmp: Path
+) -> tuple[float, str]:
+    """Best-of-``reps`` wall for the slice on N fresh worker processes.
+
+    Returns ``(best_wall_s, canonical aggregates JSON)``.  Workers are
+    fresh per fleet so no fleet inherits another's warm process caches;
+    within a fleet, reps share workers (steady-state dispatch is what a
+    long sweep sees).
+    """
+    workers = [start_worker(tmp, i) for i in range(n_workers)]
+    try:
+        engine = RemoteEngine([address for _proc, address in workers])
+        best, agg = float("inf"), None
+        for _rep in range(reps):
+            start = time.perf_counter()
+            result = run_sweep(apps, policies, config=config, engine=engine)
+            elapsed = time.perf_counter() - start
+            assert not result.failures, result.failures
+            assert not engine.degraded_reasons, engine.degraded_reasons
+            rendered = json.dumps(result.aggregates(), sort_keys=True)
+            assert agg is None or agg == rendered, "reps disagree with each other"
+            agg = rendered
+            best = min(best, elapsed)
+        return best, agg
+    finally:
+        for proc, _address in workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc, _address in workers:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid, 1/2 workers, byte-identity only (CI)")
+    parser.add_argument("--reps", type=int, default=3)
+    args = parser.parse_args()
+
+    if args.smoke:
+        apps, policies = ["ft", "cg"], ["shared", "static-equal"]
+        config = SystemConfig.default().with_(n_intervals=5, interval_instructions=2000)
+        fleets, reps = (1, 2), 1
+    else:
+        apps = ["swim", "art", "equake"]
+        policies = ["model-based", "shared", "static-equal", "throughput"]
+        config = SystemConfig.default()
+        fleets, reps = (1, 2, 4), args.reps
+    n_jobs = len(apps) * len(policies)
+
+    serial_start = time.perf_counter()
+    serial_agg = json.dumps(
+        run_sweep(apps, policies, config=config, engine=SerialEngine()).aggregates(),
+        sort_keys=True,
+    )
+    serial_wall = time.perf_counter() - serial_start
+
+    walls: dict[int, float] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-dist-") as tmp_str:
+        tmp = Path(tmp_str)
+        for n in fleets:
+            wall, agg = measure_fleet(n, apps, policies, config, reps, tmp)
+            if agg != serial_agg:
+                print(
+                    f"error: {n}-worker fleet aggregates diverge from serial — "
+                    "scaling numbers void",
+                    file=sys.stderr,
+                )
+                return 1
+            walls[n] = wall
+
+    print(f"serial control: {n_jobs} jobs, {serial_wall:.2f}s (aggregates pinned)")
+    print(f"{'workers':>7}  {'wall':>8}  {'speedup':>7}  {'efficiency':>10}")
+    base = walls[fleets[0]]
+    for n in fleets:
+        speedup = base / walls[n]
+        print(f"{n:>7}  {walls[n]:>7.2f}s  {speedup:>6.2f}x  {speedup / n:>9.1%}")
+    print("dist-scaling-ok=yes (all fleets byte-identical to serial)")
+    print(json.dumps({
+        "jobs": n_jobs, "reps": reps, "serial_wall_s": round(serial_wall, 3),
+        "walls_s": {str(n): round(w, 3) for n, w in walls.items()},
+    }))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,11 +22,14 @@ Public surface:
 * :mod:`repro.experiments` — one runner per paper figure/table.
 * :mod:`repro.exec` — parallel execution engines and the persistent,
   content-addressed result store (``--jobs`` / ``--cache-dir``).
+* :mod:`repro.dist` — distributed sweeps: ``repro worker`` processes,
+  :class:`~repro.dist.engine.RemoteEngine` (``--engine remote
+  --workers host:port,...``) and the store proxy (DESIGN.md §G).
 """
 
 # Defined before any subpackage import: repro.exec and repro.prep read it
 # during package initialisation (both stores namespace entries by version).
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from repro.cache import (
     CacheGeometry,

@@ -1,0 +1,154 @@
+"""Wire codecs: JobSpec/JobOutcome/prep bundles as canonical JSON values.
+
+The execution layer's records already round-trip losslessly through
+``to_dict``/``from_dict`` (pinned by ``tests/test_records_roundtrip.py``);
+the codecs here wrap those forms with the integrity fields the wire
+needs:
+
+* a spec travels with its content ``digest`` and is re-derived and
+  checked on arrival — a frame corrupted in flight (or a codec bug that
+  drops a config field) fails loudly instead of simulating the wrong
+  cell;
+* an outcome travels with the digest of the spec it answers, so a
+  mis-routed outcome can never be attributed to the wrong job;
+* a prep bundle ships each array as base64 raw bytes plus dtype/shape
+  and a per-array SHA-256, verified before the receiving store trusts a
+  byte (DESIGN.md §G).
+
+Everything here is pure data transformation — no sockets, no stores —
+so both ends of the wire and the tests share one definition of "what
+bytes mean".
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+
+import numpy as np
+
+from repro.core.records import RunResult
+from repro.exec.jobs import JobOutcome, JobSpec
+from repro.sim.config import SystemConfig
+
+__all__ = [
+    "batch_digest",
+    "decode_outcome",
+    "decode_prep_bundle",
+    "decode_spec",
+    "encode_outcome",
+    "encode_prep_bundle",
+    "encode_spec",
+]
+
+
+def batch_digest(specs) -> str:
+    """Identity of one ``run()`` batch: SHA-256 over the sorted spec
+    digests.  Sorted, not positional — the same set of cells is the same
+    batch however a resume or a retry reordered them."""
+    joined = "\n".join(sorted(spec.digest for spec in specs))
+    return hashlib.sha256(joined.encode("ascii")).hexdigest()
+
+
+def encode_spec(spec: JobSpec) -> dict:
+    return {"spec": spec.canonical(), "digest": spec.digest}
+
+
+def decode_spec(payload: dict) -> JobSpec:
+    body = payload["spec"]
+    spec = JobSpec(
+        app=body["app"],
+        policy=body["policy"],
+        config=SystemConfig.from_dict(body["config"]),
+    )
+    if spec.digest != payload.get("digest"):
+        raise ValueError(
+            f"spec digest mismatch: wire says {payload.get('digest')!r}, "
+            f"decoded content hashes to {spec.digest}"
+        )
+    return spec
+
+
+def encode_outcome(outcome: JobOutcome) -> dict:
+    return {
+        "digest": outcome.spec.digest,
+        "result": None if outcome.result is None else outcome.result.to_dict(),
+        "error": outcome.error,
+        "attempts": outcome.attempts,
+        "duration_s": outcome.duration_s,
+        "engine": outcome.engine,
+    }
+
+
+def decode_outcome(payload: dict, spec: JobSpec) -> JobOutcome:
+    """Rebuild the outcome for ``spec`` (the coordinator knows which spec
+    it asked about; the digest check catches mis-routing)."""
+    if payload.get("digest") != spec.digest:
+        raise ValueError(
+            f"outcome for digest {payload.get('digest')!r} does not answer "
+            f"job {spec.label} ({spec.digest})"
+        )
+    result = payload.get("result")
+    return JobOutcome(
+        spec=spec,
+        result=None if result is None else RunResult.from_dict(result),
+        error=payload.get("error"),
+        attempts=int(payload.get("attempts", 1)),
+        duration_s=float(payload.get("duration_s", 0.0)),
+        engine=str(payload.get("engine", "")),
+    )
+
+
+def _array_digest(raw: bytes) -> str:
+    return hashlib.sha256(raw).hexdigest()
+
+
+def encode_prep_bundle(meta: dict, arrays: dict[str, np.ndarray]) -> dict:
+    """Ship a prep bundle: raw array bytes (base64) + dtype/shape + hash.
+
+    ``meta`` is the bundle's on-disk manifest; store bookkeeping fields
+    (version/key/digest/arrays) are stripped so the receiver's own
+    ``put`` rebuilds them against *its* version namespace.
+    """
+    extra = {
+        k: v for k, v in meta.items() if k not in ("version", "key", "digest", "arrays")
+    }
+    encoded = {}
+    for name, arr in arrays.items():
+        raw = np.ascontiguousarray(arr).tobytes()
+        encoded[name] = {
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "data": base64.b64encode(raw).decode("ascii"),
+            "sha256": _array_digest(raw),
+        }
+    return {"arrays": encoded, "extra": extra}
+
+
+def decode_prep_bundle(payload: dict) -> tuple[dict[str, np.ndarray], dict]:
+    """Verify and rebuild a shipped bundle; raises ``ValueError`` if any
+    array's bytes do not hash to their manifest — a failed transfer is a
+    miss, never a poisoned store entry."""
+    try:
+        entries = payload["arrays"]
+        extra = payload.get("extra", {})
+        arrays: dict[str, np.ndarray] = {}
+        for name, entry in entries.items():
+            raw = base64.b64decode(entry["data"])
+            if _array_digest(raw) != entry["sha256"]:
+                raise ValueError(f"array {name!r} failed its content hash")
+            arr = np.frombuffer(raw, dtype=np.dtype(entry["dtype"]))
+            arrays[name] = arr.reshape(entry["shape"]).copy()
+    except ValueError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — malformed payload, one error type
+        raise ValueError(f"malformed prep bundle: {type(exc).__name__}: {exc}") from exc
+    if not isinstance(extra, dict):
+        raise ValueError("malformed prep bundle: extra is not an object")
+    return arrays, extra
+
+
+def canonical_bytes(payload: dict) -> bytes:
+    """The canonical JSON encoding used everywhere on the wire."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")

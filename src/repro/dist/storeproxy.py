@@ -1,0 +1,262 @@
+"""Client/server store proxy: a StoreBackend served over the wire.
+
+A worker on another box has no path to the coordinator's result store.
+:class:`StoreProxyServer` exports any
+:class:`~repro.exec.backend.StoreBackend` (a local directory, a memory
+backend, eventually an object store) over the dist protocol, and
+:class:`ProxyBackend` is the client half — a ``StoreBackend`` whose five
+operations each become one request/reply round-trip, so a
+:class:`~repro.exec.store.ResultStore` built on it behaves identically
+to a local one (same keys, same payloads, same corruption-evict
+semantics) with the bytes living wherever the server is.
+
+Blobs travel base64-encoded inside the JSON frames — simple beats fast
+here; results are a few KB of JSON and the proxy is not on the
+simulation hot path (the coordinator writes its own store during a
+sweep; the proxy is for workers that must publish somewhere durable
+without a shared filesystem).
+
+The handshake is the standard hello/welcome with a null grid digest, so
+a store proxy refuses cross-version clients exactly like a worker does:
+a ``v1.6`` client can never file bytes into a ``v1.7`` server's
+namespace under the wrong version's keys.
+"""
+
+from __future__ import annotations
+
+import base64
+import socket
+import threading
+
+from repro.dist.protocol import ProtocolError, check_hello, hello_frame, recv_frame, send_frame
+from repro.exec.backend import StoreBackend
+from repro.obs.metrics import METRICS
+
+__all__ = ["ProxyBackend", "StoreProxyServer"]
+
+_OPS = ("store_read", "store_write", "store_delete", "store_list", "store_exists", "store_sweep")
+
+
+class StoreProxyServer:
+    """Serves a backend's blobs to remote clients, one thread per client."""
+
+    def __init__(self, backend: StoreBackend, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.backend = backend
+        self._listener = socket.create_server((host, port))
+        self.address = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "StoreProxyServer":
+        self._thread = threading.Thread(
+            target=self.serve_forever, name=f"storeproxy-{self.address[1]}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                break
+            threading.Thread(target=self._serve, args=(conn,), daemon=True).start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            # shutdown() first: close() alone leaves the listener live
+            # while the accept thread is blocked in accept() (the
+            # syscall pins the open file description).
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "StoreProxyServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            hello = recv_frame(conn)
+            if hello is None:
+                return
+            refusal = check_hello(hello)
+            if refusal is not None:
+                send_frame(conn, {"type": "error", "error": refusal})
+                return
+            send_frame(
+                conn,
+                {
+                    "type": "welcome",
+                    "protocol": hello["protocol"],
+                    "version": hello["version"],
+                    "worker_id": f"storeproxy-{self.address[1]}",
+                    "pid": 0,
+                },
+            )
+            while True:
+                frame = recv_frame(conn)
+                if frame is None or frame["type"] == "bye":
+                    return
+                send_frame(conn, self._answer(frame))
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _answer(self, frame: dict) -> dict:
+        op = frame["type"]
+        if op not in _OPS:
+            return {"type": "store_reply", "ok": False, "error": f"unknown op {op!r}"}
+        METRICS.counter("dist.store_ops").inc()
+        try:
+            key = frame.get("key", "")
+            if op == "store_read":
+                data = self.backend.read(key)
+                return {
+                    "type": "store_reply",
+                    "ok": True,
+                    "found": data is not None,
+                    "data": None if data is None else base64.b64encode(data).decode("ascii"),
+                }
+            if op == "store_write":
+                self.backend.write(key, base64.b64decode(frame["data"]))
+                return {"type": "store_reply", "ok": True}
+            if op == "store_delete":
+                return {"type": "store_reply", "ok": True, "deleted": self.backend.delete(key)}
+            if op == "store_exists":
+                return {"type": "store_reply", "ok": True, "found": self.backend.exists(key)}
+            if op == "store_sweep":
+                removed = self.backend.sweep_stale(
+                    frame.get("prefix", ""), float(frame.get("ttl_s", 0.0))
+                )
+                return {"type": "store_reply", "ok": True, "removed": removed}
+            # store_list
+            return {
+                "type": "store_reply",
+                "ok": True,
+                "keys": self.backend.list(frame.get("prefix", "")),
+            }
+        except (OSError, ValueError) as exc:
+            return {
+                "type": "store_reply",
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+
+class ProxyBackend(StoreBackend):
+    """The client half: a StoreBackend whose medium is a remote server.
+
+    One connection, guarded by a lock (store operations are short and a
+    worker's writes are already serialised per job).  The connection is
+    lazy and self-healing: a dropped link reconnects on the next
+    operation.  Operation errors surface as ``OSError`` — to a
+    :class:`~repro.exec.store.ResultStore` that is indistinguishable
+    from an unreadable disk, so the corrupt/miss machinery handles it.
+    """
+
+    name = "proxy"
+
+    def __init__(self, address: tuple[str, int], *, timeout_s: float = 30.0) -> None:
+        from repro.dist.registry import parse_worker_address
+
+        self.address = parse_worker_address(address)
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    send_frame(self._sock, {"type": "bye"})
+                except OSError:
+                    pass
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+    def _ensure(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        sock = socket.create_connection(self.address, timeout=self.timeout_s)
+        sock.settimeout(self.timeout_s)
+        send_frame(sock, hello_frame(None, None))
+        welcome = recv_frame(sock)
+        if welcome is None or welcome.get("type") != "welcome":
+            error = (welcome or {}).get("error", "store proxy closed during handshake")
+            sock.close()
+            raise OSError(f"store proxy handshake refused: {error}")
+        self._sock = sock
+        return sock
+
+    def _call(self, request: dict) -> dict:
+        with self._lock:
+            try:
+                sock = self._ensure()
+                send_frame(sock, request)
+                reply = recv_frame(sock)
+            except (OSError, ProtocolError) as exc:
+                # Drop the link; the next operation reconnects.
+                if self._sock is not None:
+                    try:
+                        self._sock.close()
+                    except OSError:
+                        pass
+                    self._sock = None
+                raise OSError(f"store proxy call failed: {exc}") from exc
+        if reply is None or reply.get("type") != "store_reply":
+            raise OSError("store proxy sent no reply")
+        if not reply.get("ok"):
+            raise OSError(f"store proxy refused: {reply.get('error')}")
+        return reply
+
+    def read(self, key: str) -> bytes | None:
+        reply = self._call({"type": "store_read", "key": key})
+        if not reply.get("found"):
+            return None
+        return base64.b64decode(reply["data"])
+
+    def write(self, key: str, data: bytes) -> None:
+        self._call(
+            {"type": "store_write", "key": key, "data": base64.b64encode(data).decode("ascii")}
+        )
+
+    def delete(self, key: str) -> bool:
+        # Swallow link errors like a local unlink swallows OSError: a
+        # failed eviction is a retryable inconvenience, not corruption.
+        try:
+            return bool(self._call({"type": "store_delete", "key": key}).get("deleted"))
+        except OSError:
+            return False
+
+    def exists(self, key: str) -> bool:
+        return bool(self._call({"type": "store_exists", "key": key}).get("found"))
+
+    def list(self, prefix: str = "") -> list[str]:
+        return list(self._call({"type": "store_list", "prefix": prefix}).get("keys", ()))
+
+    def sweep_stale(self, prefix: str, ttl_s: float) -> int:
+        try:
+            return int(
+                self._call(
+                    {"type": "store_sweep", "prefix": prefix, "ttl_s": ttl_s}
+                ).get("removed", 0)
+            )
+        except OSError:
+            return 0

@@ -7,29 +7,39 @@ that makes those replays cheap:
 * :class:`JobSpec` / :class:`JobOutcome` — the unit of work and its
   recorded outcome (result or error, attempts, duration).
 * :class:`ExecutionEngine` — how jobs run: :class:`SerialEngine`
-  (in-process) or :class:`ProcessPoolEngine` (multiprocessing fan-out
+  (in-process), :class:`ProcessPoolEngine` (multiprocessing fan-out
   with chunked submission, per-job timeouts, bounded retry with backoff
-  and graceful degradation to serial when a pool worker dies).
-* :class:`ResultStore` — an on-disk, content-addressed cache of
+  and graceful degradation to serial when a pool worker dies) or
+  :class:`~repro.dist.engine.RemoteEngine` (TCP worker fleet; lives in
+  :mod:`repro.dist`).  All three share one :class:`EngineOptions`
+  retry/backoff configuration.
+* :class:`ResultStore` — a content-addressed cache of
   :class:`~repro.core.records.RunResult` that persists across harness
   invocations (key = SHA-256 of the job's canonical JSON, atomic
-  write-then-rename, invalidated by ``repro.__version__``).
+  write-then-rename, invalidated by ``repro.__version__``), persisted
+  through a pluggable :class:`StoreBackend` (:class:`LocalDirBackend`
+  on disk, :class:`MemoryBackend` in tests,
+  :class:`~repro.dist.storeproxy.ProxyBackend` over the wire).
 * :func:`run_sweep` — fan a grid of apps × policies × seeds ×
   thread-counts out over an engine and aggregate speedups.
 * :class:`SweepJournal` — append-only, fsynced record of completed sweep
   cells; ``run_sweep(..., journal=..., resume=True)`` restores them
   after a crash instead of recomputing.
 * :class:`FaultPlan` — deterministic, seeded fault injection (worker
-  death, job exceptions, artifact corruption, delays) threaded through
-  every engine and store behind a zero-overhead-when-disabled hook.
+  death, job exceptions, artifact corruption, delays, plus the network
+  kinds in ``NET_FAULT_KINDS``: slow links, dropped connections,
+  partitions, vanishing workers) threaded through every engine and
+  store behind a zero-overhead-when-disabled hook.
 
 See DESIGN.md §A (execution appendix) for the key scheme and the
-invalidation-by-version rule, and §E for crash safety and fault
-injection.
+invalidation-by-version rule, §E for crash safety and fault
+injection, and §G for distributed execution.
 """
 
-from repro.exec.engine import ExecutionEngine, SerialEngine, execute_job
+from repro.exec.backend import LocalDirBackend, MemoryBackend, StoreBackend
+from repro.exec.engine import EngineOptions, ExecutionEngine, SerialEngine, execute_job
 from repro.exec.faults import (
+    NET_FAULT_KINDS,
     FaultPlan,
     FaultRule,
     InjectedFault,
@@ -43,6 +53,7 @@ from repro.exec.store import ResultStore
 from repro.exec.sweep import SweepResult, expand_grid, grid_key, run_sweep
 
 __all__ = [
+    "EngineOptions",
     "ExecutionEngine",
     "FaultPlan",
     "FaultRule",
@@ -51,9 +62,13 @@ __all__ = [
     "JobSpec",
     "JournalEntry",
     "JournalMismatchError",
+    "LocalDirBackend",
+    "MemoryBackend",
+    "NET_FAULT_KINDS",
     "ProcessPoolEngine",
     "ResultStore",
     "SerialEngine",
+    "StoreBackend",
     "SweepJournal",
     "SweepResult",
     "execute_job",

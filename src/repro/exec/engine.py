@@ -15,21 +15,67 @@ it to workers.
 
 from __future__ import annotations
 
+import dataclasses
 import random
+import sys
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 
 from repro.core.records import RunResult
 from repro.exec.faults import fire_job_faults, get_fault_plan
 from repro.exec.jobs import JobOutcome, JobSpec
-from repro.obs.events import JobEndEvent, JobStartEvent, RetryEvent
+from repro.obs.events import EngineDegradedEvent, JobEndEvent, JobStartEvent, RetryEvent
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import get_tracer
 
-__all__ = ["ExecutionEngine", "SerialEngine", "execute_job"]
+__all__ = ["EngineOptions", "ExecutionEngine", "SerialEngine", "execute_job"]
 
 OnOutcome = Callable[[JobOutcome], None]
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Retry/backoff/degradation knobs shared by every engine.
+
+    One frozen bag of semantics instead of per-engine kwargs, so the
+    process-pool and remote engines degrade and retry identically:
+
+    ``max_retries``
+        How many times a failing job is retried (a job is attempted at
+        most ``max_retries + 1`` times).
+    ``backoff_s``
+        Base delay before a retry round; doubles each round, jittered to
+        a uniform fraction in [0.5, 1.0] of the nominal delay.  Zero
+        disables the sleep.
+    ``backoff_cap_s``
+        Upper bound on any single backoff sleep.
+    ``backoff_budget_s``
+        Upper bound on the total time one batch may spend sleeping
+        between retries; refilled at the start of each batch.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.1
+    backoff_cap_s: float = 2.0
+    backoff_budget_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.backoff_cap_s < 0 or self.backoff_budget_s < 0:
+            raise ValueError("backoff_cap_s and backoff_budget_s must be >= 0")
+
+    def replace(self, **overrides) -> "EngineOptions":
+        """A copy with ``overrides`` applied (validated like any other)."""
+        return dataclasses.replace(self, **overrides)
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
 
 
 def execute_job(spec: JobSpec) -> RunResult:
@@ -48,21 +94,16 @@ class ExecutionEngine(ABC):
 
     Parameters
     ----------
-    max_retries:
-        How many times a failing job is retried (so a job is attempted at
-        most ``max_retries + 1`` times).
-    backoff_s:
-        Base delay before a retry round; doubles each round (exponential
-        backoff), jittered to a uniform fraction in [0.5, 1.0] of the
-        nominal delay so concurrent engines sharing a resource do not
-        retry in lockstep.  Zero disables the sleep.
-    backoff_cap_s:
-        Upper bound on any *single* backoff sleep — unbounded doubling
-        would otherwise stall a whole sweep behind one flaky job.
-    backoff_budget_s:
-        Upper bound on the *total* time one ``run()`` batch may spend
-        sleeping between retries; once spent, remaining retries proceed
-        immediately.
+    options:
+        An :class:`EngineOptions` with the retry/backoff knobs.  The
+        individual keyword arguments below override the corresponding
+        option field when given, so both styles compose:
+        ``SerialEngine(max_retries=0)`` and
+        ``SerialEngine(options=EngineOptions(max_retries=0))`` are the
+        same engine.
+    max_retries, backoff_s, backoff_cap_s, backoff_budget_s:
+        Per-field overrides of ``options`` (see :class:`EngineOptions`
+        for semantics).
     job_runner:
         Callable ``spec -> RunResult``; defaults to :func:`execute_job`.
     """
@@ -72,28 +113,64 @@ class ExecutionEngine(ABC):
     def __init__(
         self,
         *,
-        max_retries: int = 2,
-        backoff_s: float = 0.1,
-        backoff_cap_s: float = 2.0,
-        backoff_budget_s: float = 10.0,
+        options: EngineOptions | None = None,
+        max_retries: int | None = None,
+        backoff_s: float | None = None,
+        backoff_cap_s: float | None = None,
+        backoff_budget_s: float | None = None,
         job_runner: Callable[[JobSpec], RunResult] | None = None,
     ) -> None:
-        if max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
-        if backoff_s < 0:
-            raise ValueError("backoff_s must be >= 0")
-        if backoff_cap_s < 0 or backoff_budget_s < 0:
-            raise ValueError("backoff_cap_s and backoff_budget_s must be >= 0")
-        self.max_retries = max_retries
-        self.backoff_s = backoff_s
-        self.backoff_cap_s = backoff_cap_s
-        self.backoff_budget_s = backoff_budget_s
+        opts = options if options is not None else EngineOptions()
+        overrides = {
+            key: value
+            for key, value in {
+                "max_retries": max_retries,
+                "backoff_s": backoff_s,
+                "backoff_cap_s": backoff_cap_s,
+                "backoff_budget_s": backoff_budget_s,
+            }.items()
+            if value is not None
+        }
+        if overrides:
+            opts = opts.replace(**overrides)
+        self.options = opts
         self.job_runner = job_runner or execute_job
-        self._backoff_left = backoff_budget_s
+        self._backoff_left = opts.backoff_budget_s
+        # Every degradation to serial, in order — surfaced by the CLI's
+        # -v line and asserted on by tests; never reset implicitly.
+        self.degraded_reasons: list[str] = []
+
+    # The knobs stay readable as plain attributes — long-standing API for
+    # tests and callers that predate EngineOptions.
+    @property
+    def max_retries(self) -> int:
+        return self.options.max_retries
+
+    @property
+    def backoff_s(self) -> float:
+        return self.options.backoff_s
+
+    @property
+    def backoff_cap_s(self) -> float:
+        return self.options.backoff_cap_s
+
+    @property
+    def backoff_budget_s(self) -> float:
+        return self.options.backoff_budget_s
 
     @property
     def max_attempts(self) -> int:
-        return self.max_retries + 1
+        return self.options.max_attempts
+
+    def _note_degraded(self, reason: str) -> None:
+        """A degradation to serial is a loud warning, never silent: count
+        it, trace it, and keep the cause for ``-v`` reporting."""
+        self.degraded_reasons.append(reason)
+        METRICS.counter("exec.degraded_to_serial").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(EngineDegradedEvent(engine=self.name, reason=reason))
+        print(f"warning: {self.name} degraded to serial: {reason}", file=sys.stderr)
 
     @abstractmethod
     def run(

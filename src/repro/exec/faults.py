@@ -29,6 +29,23 @@ Injector kinds
     PrepStore manifest), driving the corrupt-evict-regenerate path on
     the next read.
 
+Network kinds (fired by :mod:`repro.dist` at its socket hook points; the
+in-process engines never roll them):
+
+``slow-link``
+    Sleep ``delay_s`` before a job frame is sent to a worker (drives
+    dispatch latency without consuming an attempt).
+``conn-drop``
+    Close the worker connection after shipping the job — the attempt is
+    consumed, the coordinator reconnects and retries.
+``partition``
+    The link silently eats the job frame: the attempt is consumed and
+    retried, the socket survives.
+``worker-vanish``
+    The worker process exits mid-job (``os._exit(3)``), driving the
+    worker-lost / redistribute path.  In-thread test workers emulate the
+    vanish by closing their sockets instead of killing the test process.
+
 Zero overhead when disabled: the process-wide plan slot defaults to
 ``None`` and every hook site guards with one ``is None`` check before
 doing any work.  Pool engines ship the active plan to their workers
@@ -54,6 +71,7 @@ from repro.obs.tracer import get_tracer
 
 __all__ = [
     "FAULT_KINDS",
+    "NET_FAULT_KINDS",
     "FaultPlan",
     "FaultRule",
     "InjectedFault",
@@ -61,9 +79,20 @@ __all__ = [
     "set_fault_plan",
 ]
 
-FAULT_KINDS = ("delay", "job-exception", "worker-death", "artifact-corruption")
+FAULT_KINDS = (
+    "delay",
+    "job-exception",
+    "worker-death",
+    "artifact-corruption",
+    "slow-link",
+    "conn-drop",
+    "partition",
+    "worker-vanish",
+)
 
 _JOB_KINDS = ("delay", "job-exception", "worker-death")
+
+NET_FAULT_KINDS = ("slow-link", "conn-drop", "partition", "worker-vanish")
 
 
 class InjectedFault(RuntimeError):
@@ -169,6 +198,19 @@ class FaultPlan:
                 out.append(rule)
         return tuple(out)
 
+    def planned_net_faults(self, key: str, attempt: int) -> tuple[FaultRule, ...]:
+        """Every network fault that will fire when ``(key, attempt)`` is
+        shipped to a worker.  Deterministic in the same roll as every
+        other kind, so coordinator and worker agree on what the wire
+        does without speaking — the property that keeps remote sweeps
+        byte-identical under chaos."""
+        out = []
+        for kind in NET_FAULT_KINDS:
+            rule = self.select(kind, key, attempt)
+            if rule is not None:
+                out.append(rule)
+        return tuple(out)
+
 
 # ----------------------------------------------------------------------
 # Process-wide active plan (None = injection disabled, the default).
@@ -252,4 +294,23 @@ def maybe_corrupt_artifact(path, key: str) -> bool:
     size = os.path.getsize(path)
     with open(path, "r+b") as fh:
         fh.truncate(size // 2)
+    return True
+
+
+def maybe_corrupt_blob(backend, key: str, label: str) -> bool:
+    """Backend-flavoured :func:`maybe_corrupt_artifact`: rewrite the blob
+    at ``key`` truncated to half, whatever the backend's medium.  Same
+    roll (``artifact-corruption``, attempt 0), same observable effect —
+    the next read parses garbage and takes the corrupt-evict path."""
+    plan = _PLAN
+    if plan is None:
+        return False
+    rule = plan.select("artifact-corruption", label, 0)
+    if rule is None:
+        return False
+    announce_faults((rule,), label, 0)
+    data = backend.read(key)
+    if data is None:
+        return False
+    backend.write(key, data[: len(data) // 2])
     return True

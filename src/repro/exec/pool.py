@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import sys
 import time
 import weakref
 from collections.abc import Callable, Sequence
@@ -30,7 +29,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from repro.core.records import RunResult
-from repro.exec.engine import ExecutionEngine, OnOutcome
+from repro.exec.engine import EngineOptions, ExecutionEngine, OnOutcome
 from repro.exec.faults import (
     FaultPlan,
     announce_faults,
@@ -39,7 +38,7 @@ from repro.exec.faults import (
     set_fault_plan,
 )
 from repro.exec.jobs import JobOutcome, JobSpec
-from repro.obs.events import EngineDegradedEvent, JobEndEvent, JobStartEvent, RetryEvent
+from repro.obs.events import JobEndEvent, JobStartEvent, RetryEvent
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import get_tracer
 
@@ -120,14 +119,16 @@ class ProcessPoolEngine(ExecutionEngine):
         *,
         chunk_size: int | None = None,
         timeout_s: float | None = None,
-        max_retries: int = 2,
-        backoff_s: float = 0.1,
-        backoff_cap_s: float = 2.0,
-        backoff_budget_s: float = 10.0,
+        options: EngineOptions | None = None,
+        max_retries: int | None = None,
+        backoff_s: float | None = None,
+        backoff_cap_s: float | None = None,
+        backoff_budget_s: float | None = None,
         job_runner: Callable[[JobSpec], RunResult] | None = None,
         mp_context=None,
     ) -> None:
         super().__init__(
+            options=options,
             max_retries=max_retries,
             backoff_s=backoff_s,
             backoff_cap_s=backoff_cap_s,
@@ -151,9 +152,6 @@ class ProcessPoolEngine(ExecutionEngine):
         self._pool_holder: list[ProcessPoolExecutor] = []
         self._pool_prep_key: tuple | None = None
         self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool_holder)
-        # Every degradation to serial, in order — surfaced by the CLI's
-        # -v line and asserted on by tests; never reset implicitly.
-        self.degraded_reasons: list[str] = []
 
     @staticmethod
     def _prep_key() -> tuple | None:
@@ -198,16 +196,6 @@ class ProcessPoolEngine(ExecutionEngine):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
-
-    def _note_degraded(self, reason: str) -> None:
-        """A degradation to serial is a loud warning, never silent: count
-        it, trace it, and keep the cause for ``-v`` reporting."""
-        self.degraded_reasons.append(reason)
-        METRICS.counter("exec.degraded_to_serial").inc()
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.emit(EngineDegradedEvent(engine=self.name, reason=reason))
-        print(f"warning: {self.name} degraded to serial: {reason}", file=sys.stderr)
 
     def run(
         self, specs: Sequence[JobSpec], *, on_outcome: OnOutcome | None = None

@@ -1,23 +1,26 @@
 """Persistent, content-addressed result store.
 
-Layout (one JSON file per result, fanned out over 256 shard directories to
+Layout (one JSON blob per result, fanned out over 256 shard namespaces to
 keep directory listings small)::
 
     <root>/v<repro version>/<digest[:2]>/<digest>.json
 
 ``digest`` is :attr:`repro.exec.jobs.JobSpec.digest` — the SHA-256 of the
 canonical JSON of ``(app, policy, config)``.  Addressing by content means
-there is no index to maintain or corrupt: a lookup is a single ``open``.
+there is no index to maintain or corrupt: a lookup is a single read.
 
-Three rules keep the store safe to share between invocations (and between
-processes writing concurrently):
+The store's *persistence* is a pluggable :class:`repro.exec.backend
+.StoreBackend` — the default :class:`~repro.exec.backend.LocalDirBackend`
+keeps the historical on-disk layout byte-for-byte, while distributed
+workers plug in a proxied backend that ships the same keys over a socket.
+Three rules keep any backend safe to share between invocations (and
+between processes writing concurrently):
 
-* **atomic publish** — payloads are written to a temporary file in the
-  shard directory and ``os.replace``-d into place, so a reader never sees
-  a half-written file and concurrent writers of the same key simply race
-  to publish identical bytes;
+* **atomic publish** — the backend's ``write`` is atomic, so a reader
+  never sees a half-written payload and concurrent writers of the same
+  key simply race to publish identical bytes;
 * **invalidation by version** — entries live under a ``v<version>``
-  directory and embed the version; any change to ``repro.__version__``
+  namespace and embed the version; any change to ``repro.__version__``
   orphans the old namespace wholesale (stale results can never leak
   across simulator changes);
 * **corruption recovery** — an unreadable, mis-keyed or truncated entry is
@@ -29,13 +32,12 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
-import time
 from pathlib import Path
 
 import repro
 from repro.core.records import RunResult
-from repro.exec.faults import maybe_corrupt_artifact
+from repro.exec.backend import LocalDirBackend, StoreBackend
+from repro.exec.faults import maybe_corrupt_blob
 from repro.exec.jobs import JobSpec
 from repro.obs.events import StoreHitEvent, StoreMissEvent
 from repro.obs.metrics import METRICS
@@ -52,7 +54,7 @@ that was SIGKILLed mid-publish."""
 
 
 class ResultStore:
-    """On-disk cache of :class:`~repro.core.records.RunResult` by job digest.
+    """Cache of :class:`~repro.core.records.RunResult` by job digest.
 
     Counters (``hits``, ``misses``, ``writes``, ``corrupt``) accumulate over
     the store's lifetime; the CLI surfaces them under ``-v`` so a warm run
@@ -65,8 +67,10 @@ class ResultStore:
         *,
         version: str | None = None,
         stale_ttl_s: float = DEFAULT_STALE_TTL_S,
+        backend: StoreBackend | None = None,
     ) -> None:
-        self.root = Path(root)
+        self.root = Path(os.fspath(root))
+        self.backend = backend if backend is not None else LocalDirBackend(self.root)
         self.version = version if version is not None else repro.__version__
         self.stale_ttl_s = stale_ttl_s
         self.hits = 0
@@ -75,15 +79,23 @@ class ResultStore:
         self.corrupt = 0
         self.stale_swept = 0
         # Startup sweep: repeated hard-killed runs must not fill the disk
-        # with orphaned staging files (a put that died between mkstemp
-        # and os.replace leaves one behind).
+        # with orphaned staging files (a put that died between staging
+        # and publish leaves one behind).
         self.sweep_stale()
 
     @property
     def version_dir(self) -> Path:
         return self.root / f"v{self.version}"
 
+    def key_for(self, spec: JobSpec) -> str:
+        """The backend key for ``spec`` — relative POSIX path, version-
+        namespaced, sharded by the digest's first byte."""
+        digest = spec.digest
+        return f"v{self.version}/{digest[:2]}/{digest}.json"
+
     def path_for(self, spec: JobSpec) -> Path:
+        """Where a local-dir backend files ``spec`` (path arithmetic only;
+        proxied backends have no local file here)."""
         digest = spec.digest
         return self.version_dir / digest[:2] / f"{digest}.json"
 
@@ -91,25 +103,25 @@ class ResultStore:
         """Fetch the stored result for ``spec``, or None on miss.
 
         A corrupt entry (bad JSON, wrong version, digest/spec mismatch) is
-        unlinked and counted in ``corrupt`` as well as ``misses``.
+        deleted and counted in ``corrupt`` as well as ``misses``.
         """
-        path = self.path_for(spec)
+        key = self.key_for(spec)
         try:
-            with path.open("r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except FileNotFoundError:
+            data = self.backend.read(key)
+        except OSError:
+            return self._evict_corrupt(key, spec)
+        if data is None:
             self.misses += 1
             METRICS.counter("store.misses").inc()
             self._trace_miss(spec)
             return None
-        except (OSError, json.JSONDecodeError):
-            return self._evict_corrupt(path, spec)
         try:
+            payload = json.loads(data.decode("utf-8"))
             if payload["version"] != self.version or payload["spec"] != spec.canonical():
-                return self._evict_corrupt(path, spec)
+                return self._evict_corrupt(key, spec)
             result = RunResult.from_dict(payload["result"])
         except Exception:  # noqa: BLE001 — any malformed payload is corruption
-            return self._evict_corrupt(path, spec)
+            return self._evict_corrupt(key, spec)
         self.hits += 1
         METRICS.counter("store.hits").inc()
         tracer = get_tracer()
@@ -121,47 +133,23 @@ class ResultStore:
     def put(self, spec: JobSpec, result: RunResult) -> Path:
         """Persist ``result`` under ``spec``'s digest (atomic publish).
 
-        Safe under concurrent writers of the same key: every writer
-        stages into its *own* ``mkstemp`` file (a dot-prefixed name no
-        reader globs) and ``os.replace``-s it over the final path, so
-        the entry atomically holds one writer's complete payload —
-        identical bytes whoever wins.  If another process ``clear()``-s
-        the shard between staging and publish, the rename is retried
-        once after recreating the directory.
+        Safe under concurrent writers of the same key: the backend's
+        write is atomic and every writer of one digest carries identical
+        bytes, so the entry holds one writer's complete payload whoever
+        wins.  Returns where a local backend filed it (nominal for
+        proxied backends).
         """
-        path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": self.version,
             "spec": spec.canonical(),
             "digest": spec.digest,
             "result": result.to_dict(),
         }
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".put-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
-            try:
-                os.replace(tmp_name, path)
-            except FileNotFoundError:
-                # The shard directory vanished (concurrent clear/rmtree);
-                # the staged payload is gone with it, so restage.
-                path.parent.mkdir(parents=True, exist_ok=True)
-                fd2, tmp_name = tempfile.mkstemp(
-                    dir=path.parent, prefix=".put-", suffix=".tmp"
-                )
-                with os.fdopen(fd2, "w", encoding="utf-8") as fh:
-                    json.dump(payload, fh, separators=(",", ":"))
-                os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        key = self.key_for(spec)
+        self.backend.write(key, json.dumps(payload, separators=(",", ":")).encode("utf-8"))
         self.writes += 1
-        maybe_corrupt_artifact(path, spec.label)
-        return path
+        maybe_corrupt_blob(self.backend, key, spec.label)
+        return self.path_for(spec)
 
     def sweep_stale(self, ttl_s: float | None = None) -> int:
         """Delete staging files orphaned by writers that died mid-``put``.
@@ -170,33 +158,24 @@ class ResultStore:
         ``stale_ttl_s``) go — a *live* concurrent writer's staging file
         is at most milliseconds old and is left alone.  Returns the
         count removed (also accumulated in ``stale_swept`` and the
-        ``store.stale_swept`` metric).
+        ``store.stale_swept`` metric).  Backends without staging residue
+        (memory, proxied) always report zero.
         """
         ttl = self.stale_ttl_s if ttl_s is None else ttl_s
-        if not self.version_dir.is_dir():
-            return 0
-        cutoff = time.time() - ttl
-        removed = 0
-        for stale in self.version_dir.glob("*/.put-*.tmp"):
-            try:
-                if stale.stat().st_mtime <= cutoff:
-                    stale.unlink()
-                    removed += 1
-            except OSError:
-                pass
+        removed = self.backend.sweep_stale(f"v{self.version}", ttl)
         if removed:
             self.stale_swept += removed
             METRICS.counter("store.stale_swept").inc(removed)
         return removed
 
     def __contains__(self, spec: JobSpec) -> bool:
-        return self.path_for(spec).is_file()
+        return self.backend.exists(self.key_for(spec))
 
     def __len__(self) -> int:
         """Number of entries stored for the current version."""
-        if not self.version_dir.is_dir():
-            return 0
-        return sum(1 for _ in self.version_dir.glob("*/*.json"))
+        return sum(
+            1 for key in self.backend.list(f"v{self.version}") if key.endswith(".json")
+        )
 
     def clear(self) -> int:
         """Delete every entry for the current version; returns the count.
@@ -205,18 +184,13 @@ class ResultStore:
         (they are invisible to readers but would otherwise accumulate).
         """
         removed = 0
-        if self.version_dir.is_dir():
-            for entry in self.version_dir.glob("*/*.json"):
-                try:
-                    entry.unlink()
+        for key in self.backend.list(f"v{self.version}"):
+            name = key.rsplit("/", 1)[-1]
+            if key.endswith(".json"):
+                if self.backend.delete(key):
                     removed += 1
-                except OSError:
-                    pass
-            for stale in self.version_dir.glob("*/.put-*.tmp"):
-                try:
-                    stale.unlink()
-                except OSError:
-                    pass
+            elif name.startswith(".put-"):
+                self.backend.delete(key)
         return removed
 
     def stats(self) -> dict:
@@ -233,14 +207,11 @@ class ResultStore:
         if tracer.enabled:
             tracer.emit(StoreMissEvent(label=spec.label, digest=spec.digest, corrupt=corrupt))
 
-    def _evict_corrupt(self, path: Path, spec: JobSpec) -> None:
+    def _evict_corrupt(self, key: str, spec: JobSpec) -> None:
         self.corrupt += 1
         self.misses += 1
         METRICS.counter("store.misses").inc()
         METRICS.counter("store.corrupt").inc()
         self._trace_miss(spec, corrupt=True)
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        self.backend.delete(key)
         return None

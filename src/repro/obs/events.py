@@ -44,6 +44,7 @@ __all__ = [
     "IntervalEvent",
     "InterruptEvent",
     "JobEndEvent",
+    "JobShippedEvent",
     "JobStartEvent",
     "MetricsEvent",
     "RepartitionEvent",
@@ -54,6 +55,8 @@ __all__ = [
     "StoreMissEvent",
     "SweepRejectedEvent",
     "SweepSubmittedEvent",
+    "WorkerJoinEvent",
+    "WorkerLostEvent",
 ]
 
 
@@ -264,6 +267,41 @@ class ServeDrainEvent(TraceEvent):
 
 
 @dataclass(frozen=True)
+class WorkerJoinEvent(TraceEvent):
+    """A remote worker completed the protocol handshake for a batch."""
+
+    kind: ClassVar[str] = "worker_join"
+
+    worker: str
+    address: str
+    pid: int
+
+
+@dataclass(frozen=True)
+class WorkerLostEvent(TraceEvent):
+    """A remote worker's link died (vanished process, dropped connection,
+    failed handshake).  ``requeued`` counts jobs sent back to the pool."""
+
+    kind: ClassVar[str] = "worker_lost"
+
+    worker: str
+    address: str
+    reason: str
+    requeued: int = 0
+
+
+@dataclass(frozen=True)
+class JobShippedEvent(TraceEvent):
+    """One job attempt was dispatched over the wire to a worker."""
+
+    kind: ClassVar[str] = "job_shipped"
+
+    label: str
+    worker: str
+    attempt: int
+
+
+@dataclass(frozen=True)
 class SpanEvent(TraceEvent):
     """A timed phase; the tracer stamps the *end*, so the phase started at
     ``ts - duration_s``."""
@@ -301,6 +339,9 @@ EVENT_KINDS: dict[str, type[TraceEvent]] = {
         SweepSubmittedEvent,
         SweepRejectedEvent,
         ServeDrainEvent,
+        WorkerJoinEvent,
+        WorkerLostEvent,
+        JobShippedEvent,
         SpanEvent,
         MetricsEvent,
     )

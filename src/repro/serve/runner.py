@@ -43,6 +43,8 @@ class ServeSettings:
     port: int = DEFAULT_PORT
     data_dir: Path = field(default_factory=lambda: Path("serve-data"))
     jobs: int = 1
+    engine: str | None = None  # serial | pool | remote; None = infer
+    workers: list[tuple[str, int]] | None = None  # remote fleet addresses
     cache_dir: Path | None = None  # default: <data_dir>/store
     prep_dir: Path | None = None
     max_pending_cells: int = 512
@@ -56,11 +58,26 @@ class ServeSettings:
         return Path(self.cache_dir) if self.cache_dir else Path(self.data_dir) / "store"
 
 
+def _build_engine(settings: ServeSettings):
+    """Engine selection, mirroring the batch CLI: an explicit ``engine``
+    wins, otherwise ``workers`` implies remote and ``jobs > 1`` a pool."""
+    name = settings.engine or (
+        "remote" if settings.workers else "pool" if settings.jobs > 1 else "serial"
+    )
+    if name == "remote":
+        if not settings.workers:
+            raise ValueError("engine 'remote' requires worker addresses")
+        from repro.dist import RemoteEngine
+
+        return RemoteEngine(settings.workers)
+    if name == "pool":
+        return ProcessPoolEngine(settings.jobs)
+    return SerialEngine()
+
+
 def build_service(settings: ServeSettings) -> SweepService:
     """Assemble the engine/store/admission stack behind one service."""
-    engine = (
-        ProcessPoolEngine(settings.jobs) if settings.jobs > 1 else SerialEngine()
-    )
+    engine = _build_engine(settings)
     store = ResultStore(settings.resolved_cache_dir())
     if settings.prep_dir is not None:
         configure_prep(settings.prep_dir)

@@ -1,0 +1,129 @@
+"""Tests for the store backend seam: key safety, the backend contract,
+and ResultStore running on a non-filesystem medium."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.backend import LocalDirBackend, MemoryBackend, _check_key
+from repro.exec.jobs import JobSpec
+from repro.exec.store import ResultStore
+from repro.sim.config import SystemConfig
+
+
+def _spec(app: str = "swim") -> JobSpec:
+    return JobSpec(app=app, policy="shared", config=SystemConfig.default())
+
+
+class TestKeyChecking:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "/abs/path", "../escape", "a/../b", "v1/../../etc/passwd"],
+    )
+    def test_rejects_unsafe_keys(self, bad):
+        with pytest.raises(ValueError, match="invalid store key"):
+            _check_key(bad)
+
+    def test_accepts_normal_keys(self):
+        assert _check_key("v1.7.0/ab/abcd.json") == "v1.7.0/ab/abcd.json"
+
+
+class TestBackendContract:
+    """One parametrized contract suite both shipped backends must pass."""
+
+    @pytest.fixture(params=["local", "memory"])
+    def backend(self, request, tmp_path):
+        if request.param == "local":
+            return LocalDirBackend(tmp_path / "blobs")
+        return MemoryBackend()
+
+    def test_read_missing_is_none(self, backend):
+        assert backend.read("v1/ab/missing.json") is None
+        assert not backend.exists("v1/ab/missing.json")
+
+    def test_write_read_roundtrip(self, backend):
+        backend.write("v1/ab/one.json", b'{"x": 1}')
+        assert backend.read("v1/ab/one.json") == b'{"x": 1}'
+        assert backend.exists("v1/ab/one.json")
+
+    def test_overwrite_wins(self, backend):
+        backend.write("v1/ab/one.json", b"old")
+        backend.write("v1/ab/one.json", b"new")
+        assert backend.read("v1/ab/one.json") == b"new"
+
+    def test_delete(self, backend):
+        backend.write("v1/ab/one.json", b"x")
+        assert backend.delete("v1/ab/one.json")
+        assert backend.read("v1/ab/one.json") is None
+        assert not backend.delete("v1/ab/one.json")
+
+    def test_list_is_sorted_and_prefixed(self, backend):
+        backend.write("v1/ab/b.json", b"1")
+        backend.write("v1/ab/a.json", b"2")
+        backend.write("v2/cd/c.json", b"3")
+        assert backend.list("v1") == ["v1/ab/a.json", "v1/ab/b.json"]
+        assert backend.list() == ["v1/ab/a.json", "v1/ab/b.json", "v2/cd/c.json"]
+
+    def test_traversal_keys_die_at_the_boundary(self, backend):
+        with pytest.raises(ValueError):
+            backend.write("../outside", b"x")
+        with pytest.raises(ValueError):
+            backend.read("../outside")
+
+
+class TestLocalDirBackend:
+    def test_write_leaves_no_staging_residue(self, tmp_path):
+        backend = LocalDirBackend(tmp_path)
+        backend.write("v1/ab/one.json", b"payload")
+        residue = list(tmp_path.rglob(".put-*.tmp"))
+        assert residue == []
+
+    def test_sweep_stale_reclaims_old_staging_files(self, tmp_path):
+        backend = LocalDirBackend(tmp_path / "v1")
+        backend.write("ab/one.json", b"x")
+        orphan = tmp_path / "v1" / "ab" / ".put-orphan.tmp"
+        orphan.write_bytes(b"half")
+        assert backend.sweep_stale("", ttl_s=0.0) == 1
+        assert not orphan.exists()
+        # Fresh staging files survive a TTL'd sweep.
+        orphan.write_bytes(b"half")
+        assert backend.sweep_stale("", ttl_s=3600.0) == 0
+        assert orphan.exists()
+
+
+class TestResultStoreOnMemoryBackend:
+    """The store logic (keying, validation, eviction) must be identical
+    whatever medium holds the bytes."""
+
+    def test_roundtrip_and_stats(self, tmp_path):
+        from repro.sim.driver import run_application
+
+        store = ResultStore(tmp_path, backend=MemoryBackend())
+        config = SystemConfig.default().with_(n_intervals=2)
+        spec = JobSpec(app="swim", policy="shared", config=config)
+        assert store.get(spec) is None  # miss
+        result = run_application(spec.app, spec.policy, config)
+        store.put(spec, result)
+        cached = store.get(spec)
+        assert cached is not None
+        assert cached.total_cycles == result.total_cycles
+        assert spec in store
+        assert len(store) == 1
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["writes"] == 1
+
+    def test_corrupt_blob_is_evicted_as_miss(self, tmp_path):
+        backend = MemoryBackend()
+        store = ResultStore(tmp_path, backend=backend)
+        spec = _spec()
+        backend.write(store.key_for(spec), b'{"truncat')
+        assert store.get(spec) is None
+        assert store.stats()["corrupt"] == 1
+        assert backend.read(store.key_for(spec)) is None  # evicted
+
+    def test_clear_removes_only_store_keys(self, tmp_path):
+        backend = MemoryBackend()
+        store = ResultStore(tmp_path, backend=backend)
+        backend.write(store.key_for(_spec()), b"{}")
+        store.clear()
+        assert len(store) == 0
