@@ -164,11 +164,33 @@ def run_full(root: Path) -> int:
     return 0
 
 
+def run_from_spec(path: str, root: Path) -> int:
+    """Benchmark the slice a checked-in experiment spec describes:
+    every (app x policy) of its grid, per thread count, through the same
+    none/cold/warm modes — so BENCH.md tables can cite the spec file that
+    produced them instead of flags."""
+    from repro.spec import load_spec
+
+    spec = load_spec(path)
+    grid = spec.grid
+    for n_threads in grid.thread_counts:
+        config = grid.config().with_(n_threads=n_threads)
+        times, digests = measure(config, grid.apps, grid.policies, root)
+        check_equivalence(digests)
+        report(f"{spec.name or path} (t={n_threads}, spec: {path})", times)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke", action="store_true",
         help="reduced CI-scale run with correctness assertions",
+    )
+    parser.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="benchmark the grid of an experiment spec (e.g. "
+        "specs/fig19_vs_private.yaml) instead of the built-in slices",
     )
     parser.add_argument(
         "--prep-dir", default=None, metavar="DIR",
@@ -177,7 +199,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     with tempfile.TemporaryDirectory(prefix="repro-bench-prep-") as tmp:
         root = Path(args.prep_dir) if args.prep_dir else Path(tmp)
-        return run_smoke(root) if args.smoke else run_full(root)
+        if args.smoke:
+            return run_smoke(root)
+        if args.spec:
+            return run_from_spec(args.spec, root)
+        return run_full(root)
 
 
 if __name__ == "__main__":

@@ -39,7 +39,12 @@ outside the pytest harness, in two modes:
 Prints ``resumed=<n>`` and ``aggregates-match=yes`` on success (CI greps
 for both); exits non-zero on any violation.
 
+The default grid is built in; ``--spec FILE`` loads it from a checked-in
+experiment spec instead (``specs/chaos_sweep.yaml`` is the canonical
+one), so the chaos grid and the spec-driven grid are the same document.
+
 Usage: PYTHONPATH=src python scripts/chaos_smoke.py [--jobs N] [--mode sweep|serve|dist]
+                                                    [--spec FILE]
 """
 
 from __future__ import annotations
@@ -73,6 +78,22 @@ GRID = {
 }
 
 
+def load_grid_from_spec(path: str) -> None:
+    """Replace the built-in GRID with the grid block of a spec file."""
+    from repro.spec import load_spec
+
+    grid = load_spec(path).grid
+    GRID.clear()
+    GRID.update(
+        apps=list(grid.apps),
+        policies=list(grid.policies),
+        seeds=list(grid.seeds),
+        thread_counts=list(grid.thread_counts),
+        intervals=grid.intervals,
+        interval_instructions=grid.interval_instructions,
+    )
+
+
 def sweep_argv(jobs: int, journal: Path | None = None, resume: bool = False) -> list[str]:
     argv = [
         sys.executable, "-m", "repro", "sweep",
@@ -82,6 +103,10 @@ def sweep_argv(jobs: int, journal: Path | None = None, resume: bool = False) -> 
         "--interval-instructions", str(GRID["interval_instructions"]),
         "--jobs", str(jobs), "--json",
     ]
+    if "seeds" in GRID:
+        argv += ["--seeds", *map(str, GRID["seeds"])]
+    if "thread_counts" in GRID:
+        argv += ["--thread-counts", *map(str, GRID["thread_counts"])]
     if journal is not None:
         argv += ["--journal", str(journal)]
     if resume:
@@ -385,7 +410,14 @@ def main() -> int:
         help="kill the batch CLI (sweep, default), the service (serve), "
         "or workers and the coordinator of a distributed sweep (dist)",
     )
+    parser.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="load the chaos grid from an experiment spec "
+        "(e.g. specs/chaos_sweep.yaml) instead of the built-in grid",
+    )
     args = parser.parse_args()
+    if args.spec:
+        load_grid_from_spec(args.spec)
     if args.mode == "sweep":
         return sweep_mode(args.jobs)
     if args.mode == "serve":

@@ -6,6 +6,11 @@ run        simulate one application under one policy
 compare    run all policies on one or more applications
 figure     regenerate a paper figure/table by id (fig3, fig20, ...)
 sweep      fan a grid of apps x policies x seeds x thread-counts out
+run-spec   execute a checked-in YAML/JSON experiment spec: same grid
+           machinery as ``sweep``, declared in a file (DESIGN.md §H)
+compare-runs
+           diff two sweep result stores cell by cell and exit non-zero
+           on regression (the continuous-benchmarking gate)
 serve      run the sweep service: accept grids over HTTP, coalesce
            duplicate work, stream progress (DESIGN.md §F)
 submit     submit a sweep grid to a running ``repro serve`` and wait
@@ -42,11 +47,15 @@ import sys
 from pathlib import Path
 
 from repro.exec import (
+    DEFAULT_POLICIES,
+    POLICY_ALIASES,
     FaultPlan,
+    GridError,
     JournalMismatchError,
     ProcessPoolEngine,
     ResultStore,
     SerialEngine,
+    SweepGrid,
     run_sweep,
     set_fault_plan,
 )
@@ -77,10 +86,6 @@ from repro.sim.config import SystemConfig
 from repro.trace.workloads import list_workloads
 
 __all__ = ["build_parser", "main"]
-
-# Short spellings accepted anywhere a policy name is: normalised by the
-# argparse ``type`` hook *before* the ``choices`` check runs.
-POLICY_ALIASES = {"model": "model-based", "cpi": "cpi-proportional", "equal": "static-equal"}
 
 
 def _positive_int(value: str) -> int:
@@ -276,8 +281,101 @@ def build_parser() -> argparse.ArgumentParser:
                 f"--journal {args.journal!r} is a directory; pass a file path "
                 "(the journal is one JSONL file per sweep)"
             )
+        if args.resume and args.journal and Path(args.journal).is_file():
+            # A resume against a foreign journal must fail *here* — before
+            # the engine, pool workers or stores are constructed — with the
+            # same field-path style a spec validation error would use.
+            from repro.exec.journal import SweepJournal
+
+            try:
+                grid = SweepGrid.build(
+                    apps=args.apps,
+                    policies=args.policies,
+                    seeds=args.seeds,
+                    thread_counts=args.thread_counts,
+                    baseline=args.baseline,
+                    intervals=args.intervals,
+                    interval_instructions=args.interval_instructions,
+                    cache_backend=args.cache_backend,
+                    path="sweep",
+                )
+            except GridError as exc:
+                p_sw.error(str(exc))
+            header, _, _ = SweepJournal.load(args.journal)
+            if header is None:
+                p_sw.error(
+                    f"sweep.resume: {args.journal!r} is not a sweep journal (no header)"
+                )
+            if header.get("grid_digest") != grid.digest:
+                p_sw.error(
+                    f"sweep.resume: journal {args.journal!r} was written by a "
+                    f"different sweep grid "
+                    f"(journal {str(header.get('grid_digest'))[:12]}…, these "
+                    f"flags {grid.digest[:12]}…); pass the grid the journal was "
+                    "started with, or drop --resume to restart it"
+                )
 
     p_sw.set_defaults(_validate=_validate_sweep)
+
+    p_rs = sub.add_parser(
+        "run-spec",
+        help="execute a YAML/JSON experiment spec (specs/*.yaml; DESIGN.md §H)",
+    )
+    p_rs.add_argument(
+        "spec", help="path to the spec file (.yaml/.yml needs PyYAML; .json always works)"
+    )
+    p_rs.add_argument(
+        "--smoke", action="store_true",
+        help="shrink the spec to a seconds-scale probe (first value of every "
+        "grid axis, capped intervals) — exercises the same pipeline",
+    )
+    p_rs.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="override the spec's store_dir (results are filed here)",
+    )
+    p_rs.add_argument(
+        "--prep-dir", default=None, metavar="DIR",
+        help="override the spec's prep_dir (prepared-program cache)",
+    )
+    p_rs.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="override the spec's journal path",
+    )
+    p_rs.add_argument(
+        "--no-expectations", action="store_true",
+        help="run the sweep but skip the spec's expectations block",
+    )
+    p_rs.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write telemetry events to PATH (summarize with `repro report`)",
+    )
+    p_rs.add_argument(
+        "--trace-format", default="jsonl", choices=("jsonl", "chrome"),
+        help="trace file format: jsonl (default) or chrome",
+    )
+    p_rs.add_argument("--json", action="store_true", help="emit JSON instead of ASCII")
+    p_rs.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print execution counters and the resolved grid to stderr",
+    )
+
+    p_cr = sub.add_parser(
+        "compare-runs",
+        help="diff two sweep result stores cell by cell (DESIGN.md §H)",
+    )
+    p_cr.add_argument("store_a", help="reference result store (a --cache-dir of a past run)")
+    p_cr.add_argument("store_b", help="candidate result store to compare against it")
+    p_cr.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="scope the diff to this spec's grid cells and apply its "
+        "expectations.tolerances (default: compare every cell both stores hold)",
+    )
+    p_cr.add_argument(
+        "--tolerance", action="append", default=[], metavar="METRIC=REL",
+        help="max relative delta per metric before a cell counts as changed, "
+        "e.g. --tolerance total_cycles=0.01 (repeatable; overrides the spec)",
+    )
+    p_cr.add_argument("--json", action="store_true", help="emit JSON instead of ASCII")
 
     p_srv = sub.add_parser(
         "serve", help="run the sweep service (HTTP on localhost; DESIGN.md §F)"
@@ -353,6 +451,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument(
         "--client", default=None, metavar="NAME",
         help="client name for quotas/attribution (default: user@host)",
+    )
+    p_sub.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="take the whole grid from an experiment spec file; the grid "
+        "flags below are ignored when this is given (DESIGN.md §H)",
     )
     p_sub.add_argument(
         "--apps", nargs="+", default=None, metavar="APP",
@@ -551,6 +654,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "worker":
         return _worker_command(args)
 
+    if args.command == "run-spec":
+        return _trace_wrapped(args, lambda: _run_spec_command(args))
+
+    if args.command == "compare-runs":
+        return _compare_runs_command(args)
+
     if args.command == "list":
         print("workloads:  " + ", ".join(list_workloads()))
         print("policies:   " + ", ".join(sorted(POLICY_REGISTRY)))
@@ -571,15 +680,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{args.command}: {setup_error}", file=sys.stderr)
         return 2
 
-    if not args.trace:
-        return _dispatch(args)
+    return _trace_wrapped(args, lambda: _dispatch(args))
 
-    # Chrome traces need the full event list to assemble counter tracks, so
-    # they buffer in memory; JSONL streams to disk as events happen.
+
+def _trace_wrapped(args: argparse.Namespace, fn) -> int:
+    """Run ``fn`` under the ``--trace`` tracer when one was requested.
+
+    Chrome traces need the full event list to assemble counter tracks, so
+    they buffer in memory; JSONL streams to disk as events happen.
+    """
+    if not args.trace:
+        return fn()
     tracer = JsonlTracer(args.trace) if args.trace_format == "jsonl" else RecordingTracer()
     previous = set_tracer(tracer)
     try:
-        return _dispatch(args)
+        return fn()
     finally:
         tracer.emit(MetricsEvent(snapshot=METRICS.snapshot()))
         tracer.close()
@@ -664,7 +779,7 @@ def _sweep_command(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    policies = args.policies or ["shared", "static-equal", "throughput", "model-based"]
+    policies = args.policies or list(DEFAULT_POLICIES)
     baseline = args.baseline
     if baseline is not None and baseline not in policies:
         print(
@@ -741,6 +856,111 @@ def _sweep_command(args: argparse.Namespace) -> int:
         line += _crash_suffix()
         print(line, file=sys.stderr)
     return 0 if not result.failures else 1
+
+
+def _run_spec_command(args: argparse.Namespace) -> int:
+    """``repro run-spec``: execute a checked-in experiment spec.
+
+    Exit codes: 0 ok, 1 failed cells or unmet expectations, 2 invalid
+    spec / journal mismatch (usage-class errors).
+    """
+    from repro.spec import SpecError, check_expectations, load_spec, run_experiment
+
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        for problem in exc.problems:
+            print(f"run-spec: {problem}", file=sys.stderr)
+        return 2
+    if args.verbose:
+        grid = spec.grid
+        print(
+            f"run-spec: {spec.name or Path(args.spec).stem} — {grid.n_cells} cells "
+            f"({len(grid.apps)} apps x {len(grid.policies)} policies x "
+            f"{len(grid.seeds)} seeds x {len(grid.thread_counts)} thread-counts), "
+            f"engine={spec.engine.resolved_kind()} digest={grid.digest[:12]}",
+            file=sys.stderr,
+        )
+    try:
+        result = run_experiment(
+            spec,
+            smoke=args.smoke,
+            store_dir=args.cache_dir,
+            prep_dir=args.prep_dir,
+            journal_path=args.journal,
+        )
+    except JournalMismatchError as exc:
+        print(f"run-spec: {exc}", file=sys.stderr)
+        return 2
+    violations = [] if args.no_expectations else check_expectations(spec, result)
+    if args.json:
+        payload = result.to_dict()
+        payload["spec"] = {"source": spec.source, "name": spec.name}
+        payload["expectation_violations"] = violations
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(result.format())
+    for violation in violations:
+        print(f"run-spec: expectation not met — {violation}", file=sys.stderr)
+    return 1 if result.failures or violations else 0
+
+
+def _metric_tolerances(args: argparse.Namespace, spec) -> dict | None:
+    """Merge ``--tolerance METRIC=REL`` flags over the spec's tolerances
+    block.  Returns None (and prints) on a malformed flag."""
+    from repro.spec.compare import METRIC_NAMES
+
+    tolerances = dict(spec.expectations.tolerances) if spec is not None else {}
+    for item in args.tolerance:
+        metric, sep, value = item.partition("=")
+        try:
+            if not sep or metric not in METRIC_NAMES:
+                raise ValueError
+            tolerances[metric] = float(value)
+            if tolerances[metric] < 0:
+                raise ValueError
+        except ValueError:
+            print(
+                f"compare-runs: --tolerance must be METRIC=REL with METRIC one of "
+                f"{', '.join(METRIC_NAMES)} and REL a number >= 0, got {item!r}",
+                file=sys.stderr,
+            )
+            return None
+    return tolerances
+
+
+def _compare_runs_command(args: argparse.Namespace) -> int:
+    """``repro compare-runs``: the continuous-benchmarking gate.
+
+    Exit codes: 0 clean, 1 regression (a changed or removed cell),
+    2 usage/spec errors, 4 incomparable stores.
+    """
+    from repro.spec import SpecError, compare_runs, load_spec
+
+    spec = None
+    if args.spec is not None:
+        try:
+            spec = load_spec(args.spec)
+        except SpecError as exc:
+            for problem in exc.problems:
+                print(f"compare-runs: {problem}", file=sys.stderr)
+            return 2
+    tolerances = _metric_tolerances(args, spec)
+    if tolerances is None:
+        return 2
+    comparison = compare_runs(
+        args.store_a,
+        args.store_b,
+        grid=spec.grid if spec is not None else None,
+        tolerances=tolerances,
+    )
+    if args.json:
+        json.dump(comparison.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        print(comparison.format())
+    return comparison.exit_code
 
 
 def _serve_command(args: argparse.Namespace) -> int:
@@ -851,20 +1071,34 @@ def _submit_command(args: argparse.Namespace) -> int:
         print(f"submit: --server must be HOST:PORT, got {args.server!r}", file=sys.stderr)
         return 2
     client = ServeClient(host, int(port), timeout=args.timeout)
-    request = {
-        "apps": args.apps or list_workloads(),
-        "policies": args.policies
-        or ["shared", "static-equal", "throughput", "model-based"],
-        "seeds": args.seeds,
-        "thread_counts": args.thread_counts,
-        "intervals": args.intervals,
-        "interval_instructions": args.interval_instructions,
-        "cache_backend": args.cache_backend,
-        "client": args.client or _default_client_name(),
-        "resume": not args.no_resume,
-    }
-    if args.baseline is not None:
-        request["baseline"] = args.baseline
+    if args.spec is not None:
+        from repro.spec import SpecError, load_spec
+
+        try:
+            grid = load_spec(args.spec).grid
+        except SpecError as exc:
+            for problem in exc.problems:
+                print(f"submit: {problem}", file=sys.stderr)
+            return 2
+        request = {
+            **grid.to_dict(),
+            "client": args.client or _default_client_name(),
+            "resume": not args.no_resume,
+        }
+    else:
+        request = {
+            "apps": args.apps or list_workloads(),
+            "policies": args.policies or list(DEFAULT_POLICIES),
+            "seeds": args.seeds,
+            "thread_counts": args.thread_counts,
+            "intervals": args.intervals,
+            "interval_instructions": args.interval_instructions,
+            "cache_backend": args.cache_backend,
+            "client": args.client or _default_client_name(),
+            "resume": not args.no_resume,
+        }
+        if args.baseline is not None:
+            request["baseline"] = args.baseline
     try:
         submission = client.submit(request)
         sweep_id = submission["sweep_id"]

@@ -271,18 +271,23 @@ class FastPartitionedSharedCache:
         if own:
             # At or over target (or no over-target victim): own LRU.
             return next(iter(own)), own
-        # The thread owns nothing here (possible when its target is 0):
-        # global LRU over every owner's queue.
-        best = -1
-        best_stamp = None
-        best_queue = None
-        for o in range(n):
-            queue = lru[cb + o]
-            if queue:
-                cj = next(iter(queue))
-                st = stamp[cj]
-                if best_stamp is None or st < best_stamp:
-                    best, best_stamp, best_queue = cj, st, queue
+        # The thread owns nothing here (possible when its target is 0).
+        # Eviction control still applies: prefer the oldest line among
+        # over-target owners so under-target threads keep their lines,
+        # then fall back to global LRU over every owner's queue.
+        for guarded in (True, False):
+            best = -1
+            best_stamp = None
+            best_queue = None
+            for o in range(n):
+                queue = lru[cb + o]
+                if queue and (not guarded or len(queue) > targets[o]):
+                    cj = next(iter(queue))
+                    st = stamp[cj]
+                    if best_stamp is None or st < best_stamp:
+                        best, best_stamp, best_queue = cj, st, queue
+            if best >= 0:
+                return best, best_queue
         return best, best_queue
 
     # ------------------------------------------------------------------
@@ -597,6 +602,10 @@ def _thread_body(t: int, n: int, enforce: bool, clk_expr: str, indent: str) -> l
             *_peek_block(v + " " * 8, t, n, guarded=True, skip_own=True, own_alias=True),
             f"{v}    if j < 0 and own:",
             f"{v}        j = next(iter(own)); vq = own",
+            # Owns nothing (target 0): eviction control still applies —
+            # over-target owners first, then global LRU.
+            f"{v}    if j < 0:",
+            *_peek_block(v + " " * 8, t, n, guarded=True, skip_own=False, own_alias=True),
             f"{v}    if j < 0:",
             *_peek_block(v + " " * 8, t, n, guarded=False, skip_own=False, own_alias=True),
             f"{v}evt{t} += 1",

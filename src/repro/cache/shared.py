@@ -205,7 +205,19 @@ class PartitionedSharedCache:
                     best, best_stamp = w, st
         if best >= 0:
             return best
-        # Thread owns nothing here (possible when its target is 0): global LRU.
+        # Thread owns nothing here (possible when its target is 0).
+        # Eviction control still applies: prefer the LRU line of an
+        # over-target thread so under-target threads keep their lines.
+        best, best_stamp = -1, None
+        for w in range(ways):
+            o = owner_row[w]
+            if counts[o] > targets[o]:
+                st = stamp_row[w]
+                if best_stamp is None or st < best_stamp:
+                    best, best_stamp = w, st
+        if best >= 0:
+            return best
+        # Nobody over target either: global LRU.
         best, best_stamp = 0, stamp_row[0]
         for w in range(1, ways):
             st = stamp_row[w]

@@ -46,6 +46,7 @@ from repro.exec.faults import (
     get_fault_plan,
     set_fault_plan,
 )
+from repro.exec.grid import DEFAULT_POLICIES, POLICY_ALIASES, GridError, SweepGrid
 from repro.exec.jobs import JobOutcome, JobSpec
 from repro.exec.journal import JournalEntry, JournalMismatchError, SweepJournal
 from repro.exec.pool import ProcessPoolEngine
@@ -53,10 +54,12 @@ from repro.exec.store import ResultStore
 from repro.exec.sweep import SweepResult, expand_grid, grid_key, run_sweep
 
 __all__ = [
+    "DEFAULT_POLICIES",
     "EngineOptions",
     "ExecutionEngine",
     "FaultPlan",
     "FaultRule",
+    "GridError",
     "InjectedFault",
     "JobOutcome",
     "JobSpec",
@@ -65,10 +68,12 @@ __all__ = [
     "LocalDirBackend",
     "MemoryBackend",
     "NET_FAULT_KINDS",
+    "POLICY_ALIASES",
     "ProcessPoolEngine",
     "ResultStore",
     "SerialEngine",
     "StoreBackend",
+    "SweepGrid",
     "SweepJournal",
     "SweepResult",
     "execute_job",

@@ -341,6 +341,27 @@ def summarize(records: list[dict], *, top: int = 5) -> str:
                 f"{prep_stale} prepared program(s) — staged temp dirs left by "
                 "crashed writers, reclaimed"
             )
+        spec_runs = counters.get("spec.runs", 0)
+        cmp_runs = counters.get("compare.runs", 0)
+        if spec_runs or cmp_runs:
+            lines.append("")
+            lines.append("declarative experiments:")
+            if spec_runs:
+                lines.append(
+                    f"  spec runs: {spec_runs} "
+                    f"({counters.get('spec.smoke_runs', 0)} smoke), "
+                    f"{counters.get('spec.expectation_failures', 0)} "
+                    "expectation violation(s)"
+                )
+            if cmp_runs:
+                lines.append(
+                    f"  comparisons: {cmp_runs} "
+                    f"({counters.get('compare.incomparable', 0)} incomparable) — "
+                    f"cells equal={counters.get('compare.cells.equal', 0)} "
+                    f"changed={counters.get('compare.cells.changed', 0)} "
+                    f"added={counters.get('compare.cells.added', 0)} "
+                    f"removed={counters.get('compare.cells.removed', 0)}"
+                )
         lines.append("")
         lines.append("metrics:")
         for name, value in sorted(snap.get("counters", {}).items()):

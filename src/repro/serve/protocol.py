@@ -22,10 +22,11 @@ JSON-first, one object per line, mirroring the obs event style.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
+from repro.exec.grid import SweepGrid
 from repro.exec.jobs import JobSpec
-from repro.exec.journal import grid_digest
-from repro.exec.sweep import SweepCell, expand_grid, grid_key
+from repro.exec.sweep import SweepCell
 from repro.partition import POLICY_REGISTRY
 from repro.sim.config import SystemConfig
 from repro.trace.workloads import list_workloads
@@ -152,37 +153,43 @@ class SweepRequest:
             "client": self.client,
         }
 
-    def config(self) -> SystemConfig:
-        """The base config this grid varies — exactly what
-        ``repro sweep`` builds from the same flags, so spec digests (and
-        therefore store keys and coalescing) agree across entry points."""
-        return SystemConfig.default().with_(
-            n_intervals=self.intervals,
+    @cached_property
+    def grid(self) -> SweepGrid:
+        """The request as the canonical :class:`~repro.exec.grid.SweepGrid`
+        every entry point compiles through — so spec digests (and therefore
+        store keys and coalescing) agree across CLI, specs and service."""
+        return SweepGrid(
+            apps=self.apps,
+            policies=self.policies,
+            seeds=self.seeds,
+            thread_counts=self.thread_counts,
+            baseline=self.baseline,
+            intervals=self.intervals,
             interval_instructions=self.interval_instructions,
             cache_backend=self.cache_backend,
         )
 
+    def config(self) -> SystemConfig:
+        """The base config this grid varies — exactly what
+        ``repro sweep`` builds from the same flags."""
+        return self.grid.config()
+
     def grid_key(self) -> dict:
-        return grid_key(
-            self.apps, self.policies, self.seeds, self.thread_counts,
-            self.baseline, self.config(),
-        )
+        return self.grid.grid_key()
 
     @property
     def sweep_id(self) -> str:
         """Content address of the whole sweep (includes the simulator
         version): the attach/coalesce key and the journal file name."""
-        return grid_digest(self.grid_key())
+        return self.grid.digest
 
     def specs(self) -> list[JobSpec]:
         """The grid in canonical sweep order (shared with ``run_sweep``)."""
-        return expand_grid(
-            self.apps, self.policies, self.seeds, self.thread_counts, self.config()
-        )
+        return self.grid.specs()
 
     @property
     def n_cells(self) -> int:
-        return len(self.apps) * len(self.policies) * len(self.seeds) * len(self.thread_counts)
+        return self.grid.n_cells
 
 
 def cell_event(
