@@ -22,6 +22,10 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_sweep_end2end.py          # BENCH.md table
     PYTHONPATH=src python benchmarks/bench_sweep_end2end.py --smoke  # CI guard
+
+Pass ``--json PATH`` with any mode to persist the measurements (plus
+host metadata) as a machine-readable artifact; the checked-in copies
+follow the ``BENCH_<version>.json`` naming convention.
 """
 
 from __future__ import annotations
@@ -118,7 +122,41 @@ def report(title: str, times: dict) -> tuple[float, float]:
     return speedup, overhead
 
 
-def run_smoke(root: Path) -> int:
+def _rows_payload(times: dict) -> list[dict]:
+    return [
+        {
+            "app": app,
+            "policy": policy,
+            **{f"{mode}_s": r[mode] for mode in MODES},
+            "warm_speedup": r["none"] / r["warm"],
+        }
+        for (app, policy), r in times.items()
+    ]
+
+
+def write_json(path: str, payload: dict) -> None:
+    """Persist measurements as ``BENCH_<version>.json``-style artifact."""
+    import os
+    import platform
+
+    from repro import __version__
+
+    payload = {
+        "benchmark": "bench_sweep_end2end",
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "repro_version": __version__,
+        },
+        **payload,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")
+
+
+def run_smoke(root: Path, json_path: str | None = None) -> int:
     """CI guard at quick scale: equivalence across modes, a working warm
     path (>= 1 prep hit), and a warm run that is not slower than no-cache
     by more than noise allows."""
@@ -139,6 +177,16 @@ def run_smoke(root: Path) -> int:
     _clear_inprocess_caches()
     run_application("swim", "model-based", config)
     set_prep_store(None)
+    if json_path:
+        write_json(
+            json_path,
+            {
+                "mode": "smoke",
+                "config": "quick",
+                "combos": _rows_payload(times),
+                "aggregate": {"warm_speedup": speedup, "cold_overhead": overhead},
+            },
+        )
     if store.stats()["hits"] < 1:
         print("smoke FAIL: warm run reported no prep-cache hits", file=sys.stderr)
         return 1
@@ -149,7 +197,7 @@ def run_smoke(root: Path) -> int:
     return 0
 
 
-def run_full(root: Path) -> int:
+def run_full(root: Path, json_path: str | None = None) -> int:
     four, dig4 = measure(SystemConfig.default(), FOUR_CORE_APPS, FOUR_CORE_POLICIES, root)
     check_equivalence(dig4)
     s4, o4 = report("4-core (SystemConfig.default, Figs. 19-21 slice)", four)
@@ -161,10 +209,25 @@ def run_full(root: Path) -> int:
         f"cold-store overhead 4-core {o4:+.1%} / 8-core {o8:+.1%} "
         f"(per-job, in-process caches cleared, best of 3)"
     )
+    if json_path:
+        write_json(
+            json_path,
+            {
+                "mode": "full",
+                "four_core": {
+                    "combos": _rows_payload(four),
+                    "aggregate": {"warm_speedup": s4, "cold_overhead": o4},
+                },
+                "eight_core": {
+                    "combos": _rows_payload(eight),
+                    "aggregate": {"warm_speedup": s8, "cold_overhead": o8},
+                },
+            },
+        )
     return 0
 
 
-def run_from_spec(path: str, root: Path) -> int:
+def run_from_spec(path: str, root: Path, json_path: str | None = None) -> int:
     """Benchmark the slice a checked-in experiment spec describes:
     every (app x policy) of its grid, per thread count, through the same
     none/cold/warm modes — so BENCH.md tables can cite the spec file that
@@ -173,11 +236,21 @@ def run_from_spec(path: str, root: Path) -> int:
 
     spec = load_spec(path)
     grid = spec.grid
+    slices = []
     for n_threads in grid.thread_counts:
         config = grid.config().with_(n_threads=n_threads)
         times, digests = measure(config, grid.apps, grid.policies, root)
         check_equivalence(digests)
-        report(f"{spec.name or path} (t={n_threads}, spec: {path})", times)
+        speedup, overhead = report(f"{spec.name or path} (t={n_threads}, spec: {path})", times)
+        slices.append(
+            {
+                "n_threads": n_threads,
+                "combos": _rows_payload(times),
+                "aggregate": {"warm_speedup": speedup, "cold_overhead": overhead},
+            }
+        )
+    if json_path:
+        write_json(json_path, {"mode": "spec", "spec": path, "slices": slices})
     return 0
 
 
@@ -196,14 +269,18 @@ def main(argv: list[str] | None = None) -> int:
         "--prep-dir", default=None, metavar="DIR",
         help="store root to benchmark against (default: a fresh temp dir)",
     )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_path",
+        help="write the measurements as JSON (convention: BENCH_<version>.json)",
+    )
     args = parser.parse_args(argv)
     with tempfile.TemporaryDirectory(prefix="repro-bench-prep-") as tmp:
         root = Path(args.prep_dir) if args.prep_dir else Path(tmp)
         if args.smoke:
-            return run_smoke(root)
+            return run_smoke(root, args.json_path)
         if args.spec:
-            return run_from_spec(args.spec, root)
-        return run_full(root)
+            return run_from_spec(args.spec, root, args.json_path)
+        return run_full(root, args.json_path)
 
 
 if __name__ == "__main__":

@@ -29,7 +29,7 @@ Public surface:
 
 # Defined before any subpackage import: repro.exec and repro.prep read it
 # during package initialisation (both stores namespace entries by version).
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from repro.cache import (
     CacheGeometry,

@@ -156,10 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_exec_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
-            "--cache-backend", default="fast", choices=("fast", "reference"),
+            "--cache-backend", default="fast", choices=("fast", "reference", "batch"),
             help="shared-L2 implementation: fast (vectorized replay kernel, "
-            "default) or reference (readable per-set model); outputs are "
-            "byte-identical",
+            "default), reference (readable per-set model), or batch (cells "
+            "sharing a prepared program replay together in one pass); "
+            "outputs are byte-identical",
         )
         p.add_argument(
             "--jobs", type=_positive_int, default=1, metavar="N",
@@ -484,7 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="instructions per thread per interval",
     )
     p_sub.add_argument(
-        "--cache-backend", default="fast", choices=("fast", "reference"),
+        "--cache-backend", default="fast", choices=("fast", "reference", "batch"),
         help="shared-L2 implementation (must match other submitters for "
         "coalescing: the backend is part of the cell identity)",
     )
@@ -600,8 +601,28 @@ def _report_execution(args: argparse.Namespace) -> None:
         if s.get("stale_swept"):
             line += f" store-stale-swept={s['stale_swept']}"
     line += _prep_suffix()
+    line += _batch_suffix()
     line += _crash_suffix()
     print(line, file=sys.stderr)
+
+
+def _batch_suffix() -> str:
+    """`` batches=... batch-lanes=... ...`` fragment for verbose lines —
+    only the batch counters that are non-zero, so non-batched runs stay
+    one short line."""
+    counters = METRICS.snapshot().get("counters", {})
+    parts = []
+    for counter, label in (
+        ("batch.batches", "batches"),
+        ("batch.lanes", "batch-lanes"),
+        ("batch.fallback", "batch-fallback"),
+        ("batch.fallback_pure", "batch-fallback-pure"),
+        ("batch.failed", "batch-failed"),
+    ):
+        value = counters.get(counter, 0)
+        if value:
+            parts.append(f" {label}={value}")
+    return "".join(parts)
 
 
 def _prep_suffix() -> str:
@@ -853,6 +874,7 @@ def _sweep_command(args: argparse.Namespace) -> int:
             if s.get("stale_swept"):
                 line += f" store-stale-swept={s['stale_swept']}"
         line += _prep_suffix()
+        line += _batch_suffix()
         line += _crash_suffix()
         print(line, file=sys.stderr)
     return 0 if not result.failures else 1

@@ -1,0 +1,343 @@
+"""Runtime-compiled C lane kernel for :mod:`repro.cache.batch`.
+
+The batched backend replays one prepared program under many policy/L2
+lanes.  Lane state is NumPy struct-of-arrays, but the per-access control
+flow — min-clock dispatch, set probe, Section V victim selection — is
+inherently sequential *within* a lane, and a NumPy formulation of the
+lane-parallel step was measured at 2.5 µs of per-operator dispatch x ~20
+operators per step on this class of host: it cannot break even against
+the fused Python fastpath below ~48 lanes (see BENCH.md v1.9.0).  So the
+inner loop is a small C routine instead — ROADMAP item 2's "compiled
+kernel with pure-Python fallback" option — compiled once per host with
+the system C compiler and loaded through :mod:`ctypes`.
+
+``replay_lane`` is a line-for-line transcription of
+``CMPEngine._run_reference`` plus the reference cache's ``access``/
+``_fill``/``_choose_victim``:
+
+* dispatch scans threads in index order keeping a strictly smaller
+  clock, so the lowest-index minimum-clock thread wins ties;
+* the hit probe and every victim rule are way-order scans with
+  first-strictly-minimal LRU stamps, exactly the reference's scans
+  (stamps are globally unique, so no tie-break cases exist);
+* all cycle quantities are IEEE-754 doubles accumulated in the
+  reference's order (no ``-ffast-math``), instruction counts are
+  ``int64`` — byte-identity is the contract, enforced by
+  ``tests/test_cache_differential.py``.
+
+The routine runs one lane until the aggregate instruction count crosses
+the next interval tick (returns ``1``) or the program completes
+(returns ``0``); Python fires the tick — statistics snapshot, runtime
+policy consultation, target installation, reconfiguration overhead —
+and re-enters.  Barriers and thread completion are handled in C.
+
+Compiled objects are cached on disk keyed by the SHA-256 of the source,
+so sibling worker processes share one build.  When no compiler is
+available (or the build fails) :func:`load_kernel` returns ``None`` and
+the batch backend falls back to the pure-Python fastpath per lane.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+__all__ = ["KERNEL_SOURCE", "kernel_available", "load_kernel"]
+
+KERNEL_SOURCE = r"""
+#include <stdint.h>
+
+#define TICK 1
+#define DONE 0
+
+/* ctrl slots: persistent scalar lane state across tick pauses. */
+#define C_CLK       0   /* cache LRU clock (one tick per access)      */
+#define C_TOT       1   /* aggregate instructions retired             */
+#define C_NEXT_TICK 2   /* next interval boundary (aggregate instrs)  */
+#define C_SEC       3   /* current section index                      */
+#define C_ACTIVE    4   /* threads still running this section         */
+
+static int64_t choose_victim(
+    int64_t t, int64_t base, int64_t cb, int64_t ways, int64_t n,
+    const int64_t *tags, const int32_t *owner, const int64_t *stamp,
+    const int64_t *count, const int64_t *targets, int64_t enforce)
+{
+    int64_t w, best, best_stamp;
+    (void)tags; (void)n;
+    if (!enforce) {
+        /* Plain global LRU: first strictly-minimal stamp in way order. */
+        best = base; best_stamp = stamp[base];
+        for (w = 1; w < ways; w++) {
+            if (stamp[base + w] < best_stamp) {
+                best = base + w; best_stamp = stamp[base + w];
+            }
+        }
+        return best;
+    }
+    if (count[cb + t] < targets[t]) {
+        /* Under target: evict the LRU line of an over-target thread. */
+        best = -1; best_stamp = 0;
+        for (w = 0; w < ways; w++) {
+            int64_t o = owner[base + w];
+            if (count[cb + o] > targets[o]) {
+                int64_t st = stamp[base + w];
+                if (best < 0 || st < best_stamp) { best = base + w; best_stamp = st; }
+            }
+        }
+        if (best >= 0) return best;
+        /* Unreachable on a full set (counts and targets both sum to
+         * `ways`), but fall through to own-LRU defensively. */
+    }
+    /* At or over target (or no over-target victim): own LRU line. */
+    best = -1; best_stamp = 0;
+    for (w = 0; w < ways; w++) {
+        if (owner[base + w] == t) {
+            int64_t st = stamp[base + w];
+            if (best < 0 || st < best_stamp) { best = base + w; best_stamp = st; }
+        }
+    }
+    if (best >= 0) return best;
+    /* Thread owns nothing here (possible when its target is 0).
+     * Eviction control still applies: prefer the LRU line of an
+     * over-target thread so under-target threads keep their lines. */
+    best = -1; best_stamp = 0;
+    for (w = 0; w < ways; w++) {
+        int64_t o = owner[base + w];
+        if (count[cb + o] > targets[o]) {
+            int64_t st = stamp[base + w];
+            if (best < 0 || st < best_stamp) { best = base + w; best_stamp = st; }
+        }
+    }
+    if (best >= 0) return best;
+    /* Nobody over target either: global LRU. */
+    best = base; best_stamp = stamp[base];
+    for (w = 1; w < ways; w++) {
+        if (stamp[base + w] < best_stamp) {
+            best = base + w; best_stamp = stamp[base + w];
+        }
+    }
+    return best;
+}
+
+int64_t replay_lane(
+    /* shared prepared streams (identical for every lane of the batch) */
+    const int64_t *line,         /* per-thread concatenated line indices   */
+    const double  *dch,          /* d_cycles + l2_hit_cycles               */
+    const double  *dcm,          /* d_cycles + miss_cycles                 */
+    const int64_t *dil,          /* d_instructions                         */
+    const int64_t *stream_base,  /* [n] thread offsets into the above      */
+    const int64_t *ends,         /* [n_sections*n] cursor end per (sec,t)  */
+    const double  *tail_c,       /* [n_sections*n] section tail cycles     */
+    const int64_t *tail_i,       /* [n_sections*n] section tail instrs     */
+    /* per-lane cache state */
+    int64_t *tags, int32_t *owner, int32_t *last, int64_t *stamp,
+    int32_t *filled, int64_t *count, const int64_t *targets,
+    /* per-lane statistics counters */
+    int64_t *miss, int64_t *evict, int64_t *ith, int64_t *ite, int64_t *inh,
+    /* per-lane CPU state */
+    double *clock, double *stall, int64_t *instr,
+    int64_t *cursor, int32_t *done, double *arrivals,
+    int64_t *ctrl,
+    /* parameters */
+    int64_t n, int64_t n_sections, int64_t ways,
+    int64_t set_mask, int64_t enforce)
+{
+    int64_t clk       = ctrl[C_CLK];
+    int64_t tot       = ctrl[C_TOT];
+    int64_t next_tick = ctrl[C_NEXT_TICK];
+    int64_t sec       = ctrl[C_SEC];
+    int64_t active    = ctrl[C_ACTIVE];
+    int64_t t, k, w;
+
+    for (; sec < n_sections; ) {
+        const int64_t *sec_end = ends + sec * n;
+        double *arr = arrivals + sec * n;
+        while (active > 0) {
+            /* Lowest-index minimum-clock runnable thread (strict <). */
+            double best = 0.0;
+            t = -1;
+            for (k = 0; k < n; k++) {
+                if (!done[k]) {
+                    double c = clock[k];
+                    if (t < 0 || c < best) { best = c; t = k; }
+                }
+            }
+            {
+                int64_t i = cursor[t];
+                if (i >= sec_end[t]) {
+                    /* Stream exhausted: charge the section tail, arrive. */
+                    clock[t] += tail_c[sec * n + t];
+                    instr[t] += tail_i[sec * n + t];
+                    tot      += tail_i[sec * n + t];
+                    arr[t] = clock[t];
+                    done[t] = 1;
+                    active--;
+                    if (tot >= next_tick) goto pause;
+                    continue;
+                }
+                {
+                    int64_t sb = stream_base[t];
+                    int64_t lv = line[sb + i];
+                    int64_t s = lv & set_mask;
+                    int64_t base = s * ways;
+                    int64_t cb = s * n;
+                    int64_t j = -1;
+                    clk += 1;
+                    for (w = 0; w < ways; w++) {
+                        if (tags[base + w] == lv) { j = base + w; break; }
+                    }
+                    if (j >= 0) {
+                        if (last[j] != (int32_t)t) { ith[t] += 1; last[j] = (int32_t)t; }
+                        else                       { inh[t] += 1; }
+                        stamp[j] = clk;
+                        clock[t] += dch[sb + i];
+                    } else {
+                        miss[t] += 1;
+                        if (filled[s] < ways) {
+                            /* Cold fill: first invalid way, no eviction. */
+                            for (w = 0; w < ways; w++) {
+                                if (tags[base + w] == -1) { j = base + w; break; }
+                            }
+                            filled[s] += 1;
+                        } else {
+                            j = choose_victim(t, base, cb, ways, n, tags, owner,
+                                              stamp, count, targets, enforce);
+                            evict[t] += 1;
+                            if (last[j] != (int32_t)t) ite[t] += 1;
+                            count[cb + owner[j]] -= 1;
+                        }
+                        tags[j] = lv;
+                        owner[j] = (int32_t)t;
+                        last[j] = (int32_t)t;
+                        stamp[j] = clk;
+                        count[cb + t] += 1;
+                        clock[t] += dcm[sb + i];
+                    }
+                    instr[t] += dil[sb + i];
+                    tot      += dil[sb + i];
+                    cursor[t] = i + 1;
+                    if (tot >= next_tick) goto pause;
+                }
+            }
+        }
+        /* Barrier: everyone resumes at the latest arrival; early
+         * threads book the difference as stall (slack). */
+        {
+            double release = arr[0];
+            for (k = 1; k < n; k++) if (arr[k] > release) release = arr[k];
+            for (k = 0; k < n; k++) {
+                stall[k] += release - arr[k];
+                clock[k] = release;
+            }
+        }
+        for (k = 0; k < n; k++) done[k] = 0;
+        active = n;
+        sec++;
+    }
+    ctrl[C_CLK] = clk; ctrl[C_TOT] = tot; ctrl[C_NEXT_TICK] = next_tick;
+    ctrl[C_SEC] = sec; ctrl[C_ACTIVE] = active;
+    return DONE;
+
+pause:
+    ctrl[C_CLK] = clk; ctrl[C_TOT] = tot; ctrl[C_NEXT_TICK] = next_tick;
+    ctrl[C_SEC] = sec; ctrl[C_ACTIVE] = active;
+    return TICK;
+}
+"""
+
+#: Result codes of ``replay_lane``.
+RC_DONE = 0
+RC_TICK = 1
+
+_LOADED: list = [False, None]  # [attempted, ctypes fn | None]
+
+
+def _source_digest() -> str:
+    return hashlib.sha256(KERNEL_SOURCE.encode("utf-8")).hexdigest()[:16]
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("REPRO_KERNEL_CACHE")
+    if root:
+        return Path(root)
+    return Path(tempfile.gettempdir()) / f"repro-batchkernel-{os.getuid()}"
+
+
+def _compile(out_path: Path) -> bool:
+    """Build the shared object next to ``out_path`` and rename into place.
+
+    The rename is atomic on POSIX, so concurrent workers racing to build
+    the same digest all end up loading one complete object.
+    """
+    cc = shutil.which("cc") or shutil.which("gcc")
+    if cc is None:
+        return False
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    src = out_path.with_suffix(f".{os.getpid()}.c")
+    tmp = out_path.with_suffix(f".{os.getpid()}.so")
+    try:
+        src.write_text(KERNEL_SOURCE)
+        proc = subprocess.run(
+            [cc, "-O2", "-fPIC", "-shared", "-o", str(tmp), str(src)],
+            capture_output=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            return False
+        os.replace(tmp, out_path)
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+    finally:
+        for leftover in (src, tmp):
+            try:
+                leftover.unlink()
+            except OSError:
+                pass
+
+
+def _bind(path: Path):
+    lib = ctypes.CDLL(str(path))
+    fn = lib.replay_lane
+    p_i64 = ctypes.POINTER(ctypes.c_int64)
+    p_i32 = ctypes.POINTER(ctypes.c_int32)
+    p_f64 = ctypes.POINTER(ctypes.c_double)
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [
+        p_i64, p_f64, p_f64, p_i64, p_i64, p_i64, p_f64, p_i64,  # streams
+        p_i64, p_i32, p_i32, p_i64, p_i32, p_i64, p_i64,  # cache state
+        p_i64, p_i64, p_i64, p_i64, p_i64,  # counters
+        p_f64, p_f64, p_i64, p_i64, p_i32, p_f64, p_i64,  # cpu state
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,  # n, n_sections, ways
+        ctypes.c_int64, ctypes.c_int64,  # set_mask, enforce
+    ]
+    return fn
+
+
+def load_kernel():
+    """The bound ``replay_lane`` routine, or ``None`` when unavailable.
+
+    One build/load attempt per process; the outcome (including failure)
+    is memoised so a compiler-less host pays the probe exactly once.
+    """
+    if _LOADED[0]:
+        return _LOADED[1]
+    _LOADED[0] = True
+    so_path = _cache_dir() / f"batchkernel-{_source_digest()}.so"
+    try:
+        if not so_path.exists() and not _compile(so_path):
+            return None
+        _LOADED[1] = _bind(so_path)
+    except OSError:
+        _LOADED[1] = None
+    return _LOADED[1]
+
+
+def kernel_available() -> bool:
+    """True when the compiled lane kernel can be (or has been) loaded."""
+    return load_kernel() is not None

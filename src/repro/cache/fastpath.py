@@ -430,10 +430,16 @@ class FastPartitionedSharedCache:
 
 
 #: Registry of selectable shared-cache implementations
-#: (``SystemConfig.cache_backend`` / ``--cache-backend``).
+#: (``SystemConfig.cache_backend`` / ``--cache-backend``).  ``"batch"``
+#: is only *batched* when the exec-layer planner groups >= 2 cells onto
+#: one prepared program (see :mod:`repro.exec.batch`); a solo run with
+#: the batch backend is a 1-lane batch, which by design replays through
+#: the non-batched fastpath kernel — stacking state for one lane buys
+#: nothing — and is counted by the ``batch.fallback`` metric.
 CACHE_BACKENDS = {
     "reference": PartitionedSharedCache,
     "fast": FastPartitionedSharedCache,
+    "batch": FastPartitionedSharedCache,
 }
 
 
@@ -448,8 +454,10 @@ def make_shared_cache(
     """Build the shared L2 for the selected backend.
 
     ``backend`` is ``"fast"`` (struct-of-arrays + fused replay kernel,
-    the default) or ``"reference"`` (the readable per-set implementation
-    the differential harness treats as ground truth).
+    the default), ``"reference"`` (the readable per-set implementation
+    the differential harness treats as ground truth), or ``"batch"``
+    (multi-lane replay when cells share a prepared program; identical
+    to ``"fast"`` for a single cell).
     """
     try:
         cls = CACHE_BACKENDS[backend]
@@ -457,6 +465,10 @@ def make_shared_cache(
         raise ValueError(
             f"unknown cache backend {backend!r}; known: {', '.join(sorted(CACHE_BACKENDS))}"
         ) from None
+    if backend == "batch":
+        from repro.obs.metrics import METRICS
+
+        METRICS.counter("batch.fallback").inc()
     return cls(
         geometry, n_threads, enforce_partition=enforce_partition, targets=targets
     )

@@ -60,16 +60,27 @@ from repro.obs.tracer import get_tracer
 
 __all__ = ["RemoteEngine"]
 
+#: Sentinel returned by ``_dispatch_batch_unit`` when the worker is gone
+#: for good and its dispatcher thread must exit.
+_LOST = object()
+
 
 class _Link:
     """One live, handshaken connection to a worker."""
 
-    __slots__ = ("sock", "worker_id", "pid")
+    __slots__ = ("sock", "worker_id", "pid", "caps")
 
-    def __init__(self, sock: socket.socket, worker_id: str, pid: int) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        worker_id: str,
+        pid: int,
+        caps: frozenset[str] = frozenset(),
+    ) -> None:
         self.sock = sock
         self.worker_id = worker_id
         self.pid = pid
+        self.caps = caps
 
     def close(self) -> None:
         try:
@@ -79,37 +90,53 @@ class _Link:
 
 
 class _Batch:
-    """Shared state for one ``run()``: the queue, attempts, outcomes."""
+    """Shared state for one ``run()``: the queue, attempts, outcomes.
 
-    def __init__(self, specs: list[JobSpec]) -> None:
+    The queue holds *units* — index tuples.  Per-job traffic uses
+    1-tuples; the batch planner's multi-lane groups travel as whole
+    units so one worker executes all lanes of a group in one pass.  A
+    unit that cannot be executed batched (incapable worker, failed
+    attempt) is *decomposed* into 1-tuples and re-enters the queue.
+    """
+
+    def __init__(self, specs: list[JobSpec], units: list[tuple[int, ...]]) -> None:
         self.specs = specs
         self.lock = threading.Lock()
         self.ready = threading.Condition(self.lock)
-        self.pending: deque[int] = deque(range(len(specs)))
+        self.pending: deque[tuple[int, ...]] = deque(units)
         self.inflight: set[int] = set()
         self.attempts = [0] * len(specs)
         self.outcomes: list[JobOutcome | None] = [None] * len(specs)
         self.last_error = "no workers reached"
 
-    def claim(self) -> int | None:
-        """Next job index, or None once the batch has fully drained.
+    def claim(self) -> tuple[int, ...] | None:
+        """Next unit, or None once the batch has fully drained.
         Blocks while the queue is empty but other dispatchers still have
         jobs in flight (their failures may requeue work for us)."""
         with self.ready:
             while True:
                 if self.pending:
-                    idx = self.pending.popleft()
-                    self.inflight.add(idx)
-                    return idx
+                    unit = self.pending.popleft()
+                    self.inflight.update(unit)
+                    return unit
                 if not self.inflight:
                     return None
                 self.ready.wait(timeout=0.05)
 
-    def release(self, idx: int, *, requeue: bool) -> None:
+    def release(self, unit: tuple[int, ...], *, requeue: bool) -> None:
         with self.ready:
-            self.inflight.discard(idx)
+            self.inflight.difference_update(unit)
             if requeue:
-                self.pending.append(idx)
+                self.pending.append(unit)
+            self.ready.notify_all()
+
+    def decompose(self, unit: tuple[int, ...]) -> None:
+        """Requeue a failed/unshippable multi-lane unit as singles; the
+        cells keep their attempt budgets and take the per-job path."""
+        with self.ready:
+            self.inflight.difference_update(unit)
+            for idx in unit:
+                self.pending.append((idx,))
             self.ready.notify_all()
 
     def unfinished(self) -> list[int]:
@@ -177,7 +204,7 @@ class RemoteEngine(ExecutionEngine):
         if not specs:
             return []
         self._reset_backoff()
-        batch = _Batch(specs)
+        batch = _Batch(specs, self._plan_units(specs))
         grid_digest = codec.batch_digest(specs)
         tracer = get_tracer()
         if tracer.enabled:
@@ -233,9 +260,19 @@ class RemoteEngine(ExecutionEngine):
         link: _Link | None = None
         try:
             while True:
-                idx = batch.claim()
-                if idx is None:
+                unit = batch.claim()
+                if unit is None:
                     return
+                if len(unit) > 1:
+                    verdict = self._dispatch_batch_unit(
+                        address, link, batch, unit, grid_digest, on_outcome
+                    )
+                    if verdict is _LOST:
+                        link = None
+                        return
+                    link = verdict
+                    continue
+                idx = unit[0]
                 spec = batch.specs[idx]
                 attempt = batch.attempts[idx] + 1
                 verdict = self._apply_net_faults(batch, idx, attempt, plan, on_outcome)
@@ -253,7 +290,7 @@ class RemoteEngine(ExecutionEngine):
                         # Nothing was shipped: the job keeps its attempt
                         # budget and goes back for the rest of the fleet.
                         batch.last_error = f"{format_address(address)}: {exc}"
-                        batch.release(idx, requeue=True)
+                        batch.release((idx,), requeue=True)
                         self.registry.note_lost(address, str(exc), requeued=1)
                         return
                 try:
@@ -286,6 +323,131 @@ class RemoteEngine(ExecutionEngine):
                     pass
                 link.close()
 
+    def _dispatch_batch_unit(
+        self,
+        address: tuple[str, int],
+        link: _Link | None,
+        batch: _Batch,
+        unit: tuple[int, ...],
+        grid_digest: str,
+        on_outcome: OnOutcome | None,
+    ):
+        """Ship one multi-lane unit; returns the (possibly new) link, or
+        :data:`_LOST` when the worker is unreachable and the dispatcher
+        must exit.
+
+        Failure never retries the *unit*: an incapable worker, a failed
+        batch attempt, or a dead link all decompose the unit into
+        singles, which re-enter the queue with their attempt budgets
+        intact and take the fleet's ordinary per-job path.  Fault plans
+        never coexist with batching (the planner gates on them), so no
+        net/job faults fire here.
+        """
+        if link is None:
+            try:
+                link = self._connect(address, grid_digest, None)
+            except (OSError, ProtocolError) as exc:
+                batch.last_error = f"{format_address(address)}: {exc}"
+                batch.release(unit, requeue=True)
+                self.registry.note_lost(address, str(exc), requeued=len(unit))
+                return _LOST
+        if "batch" not in link.caps:
+            METRICS.counter("dist.batch_unsupported").inc()
+            batch.decompose(unit)
+            return link
+        specs = [batch.specs[i] for i in unit]
+        try:
+            self._ship_batch(link, specs, grid_digest)
+            frame = self._await_batch_outcome(link, specs)
+        except (OSError, ProtocolError) as exc:
+            METRICS.counter("batch.failed").inc()
+            error = f"worker {format_address(address)} lost: {exc}"
+            link.close()
+            batch.decompose(unit)
+            if not self._reachable(address):
+                batch.last_error = error
+                self.registry.note_lost(address, str(exc), requeued=len(unit))
+                return _LOST
+            return None
+        if frame.get("ok"):
+            self._record_batch_success(batch, unit, frame, on_outcome)
+        else:
+            METRICS.counter("batch.failed").inc()
+            batch.decompose(unit)
+        return link
+
+    def _ship_batch(
+        self, link: _Link, specs: list[JobSpec], grid_digest: str
+    ) -> None:
+        METRICS.counter("dist.jobs_shipped").inc(len(specs))
+        METRICS.counter("dist.batches_shipped").inc()
+        send_frame(
+            link.sock,
+            {
+                "type": "batch",
+                "grid_digest": grid_digest,
+                "digest": codec.batch_digest(specs),
+                "jobs": [codec.encode_spec(spec) for spec in specs],
+            },
+        )
+
+    def _await_batch_outcome(self, link: _Link, specs: list[JobSpec]) -> dict:
+        """Read frames until this unit's ``batch_outcome``, answering
+        ``prep_fetch`` requests inline (same as :meth:`_await_outcome`)."""
+        expect = codec.batch_digest(specs)
+        label = f"batch[{specs[0].label}+{len(specs) - 1}]"
+        while True:
+            frame = recv_frame(link.sock)
+            if frame is None:
+                raise ProtocolError(f"worker closed while running {label}")
+            if frame["type"] == "prep_fetch":
+                self._serve_prep_fetch(link, frame)
+                continue
+            if frame["type"] == "error":
+                raise ProtocolError(str(frame.get("error")))
+            if frame["type"] != "batch_outcome":
+                raise ProtocolError(
+                    f"unexpected frame {frame['type']!r} awaiting batch outcome"
+                )
+            if frame.get("digest") != expect:
+                raise ProtocolError(
+                    f"batch outcome digest {frame.get('digest')!r} does not answer {label}"
+                )
+            return frame
+
+    def _record_batch_success(
+        self,
+        batch: _Batch,
+        unit: tuple[int, ...],
+        frame: dict,
+        on_outcome: OnOutcome | None,
+    ) -> None:
+        from repro.core.records import RunResult
+
+        results = frame.get("results") or []
+        if len(results) != len(unit):
+            METRICS.counter("batch.failed").inc()
+            batch.decompose(unit)
+            return
+        per_cell = float(frame.get("duration_s", 0.0)) / len(unit)
+        with batch.lock:
+            for idx, payload in zip(unit, results):
+                spec = batch.specs[idx]
+                batch.attempts[idx] += 1
+                outcome = JobOutcome(
+                    spec=spec,
+                    result=RunResult.from_dict(payload),
+                    attempts=batch.attempts[idx],
+                    duration_s=per_cell,
+                    engine=self.name,
+                )
+                batch.outcomes[idx] = outcome
+                METRICS.timer("exec.job").observe(per_cell)
+                METRICS.counter("exec.jobs_ok").inc()
+                if on_outcome is not None:
+                    on_outcome(outcome)
+        batch.release(unit, requeue=False)
+
     def _connect(
         self, address: tuple[str, int], grid_digest: str, plan
     ) -> _Link:
@@ -299,7 +461,12 @@ class RemoteEngine(ExecutionEngine):
             error = (welcome or {}).get("error", "worker closed during handshake")
             sock.close()
             raise ProtocolError(f"handshake refused: {error}")
-        link = _Link(sock, str(welcome.get("worker_id", "?")), int(welcome.get("pid", 0)))
+        link = _Link(
+            sock,
+            str(welcome.get("worker_id", "?")),
+            int(welcome.get("pid", 0)),
+            frozenset(welcome.get("caps") or ()),
+        )
         self.registry.note_join(address, link.worker_id, link.pid)
         return link
 
@@ -447,7 +614,7 @@ class RemoteEngine(ExecutionEngine):
                 # store puts see one caller at a time, whatever the
                 # fleet's completion order.
                 on_outcome(outcome)
-        batch.release(idx, requeue=False)
+        batch.release((idx,), requeue=False)
 
     def _attempt_failed(
         self,
@@ -493,7 +660,7 @@ class RemoteEngine(ExecutionEngine):
                     )
                 if on_outcome is not None:
                     on_outcome(outcome)
-        batch.release(idx, requeue=not final)
+        batch.release((idx,), requeue=not final)
         if not final:
             self._threadsafe_backoff(attempt)
 

@@ -189,6 +189,9 @@ class WorkerServer:
                 "version": hello["version"],
                 "worker_id": self.worker_id,
                 "pid": os.getpid(),
+                # Batched execution needs the real simulation; a worker
+                # with an injected runner keeps the per-job contract.
+                "caps": ["batch"] if self.job_runner is execute_job else [],
             },
         )
         while True:
@@ -198,7 +201,7 @@ class WorkerServer:
             if frame["type"] == "ping":
                 send_frame(conn, {"type": "pong"})
                 continue
-            if frame["type"] != "job":
+            if frame["type"] not in ("job", "batch"):
                 send_frame(
                     conn,
                     {"type": "error", "error": f"unexpected frame {frame['type']!r}"},
@@ -216,7 +219,10 @@ class WorkerServer:
                     },
                 )
                 return
-            self._run_job(conn, frame)
+            if frame["type"] == "batch":
+                self._run_batch(conn, frame)
+            else:
+                self._run_job(conn, frame)
 
     def _vanish(self) -> None:
         """Execute an injected ``worker-vanish``.
@@ -269,6 +275,47 @@ class WorkerServer:
                 self._remove_fetcher()
         self.jobs_run += 1
         METRICS.counter("dist.worker.jobs").inc()
+        send_frame(conn, payload)
+
+    def _run_batch(self, conn: socket.socket, frame: dict) -> None:
+        """One attempt at a whole batch unit: every lane in one pass.
+
+        Answered by exactly one ``batch_outcome`` frame echoing the
+        unit's digest; ``ok: false`` tells the coordinator to decompose
+        the unit into per-job frames (fault plans never coexist with
+        batching, so there are no faults to fire here).
+        """
+        from repro.exec.batch import execute_batch
+
+        specs = [codec.decode_spec(payload) for payload in frame["jobs"]]
+        fetcher_installed = self._install_fetcher(conn)
+        start = time.perf_counter()
+        try:
+            try:
+                results = execute_batch(specs)
+            except Exception as exc:  # noqa: BLE001 — a batch failure is data
+                payload = {
+                    "type": "batch_outcome",
+                    "digest": frame.get("digest"),
+                    "ok": False,
+                    "results": None,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "duration_s": 0.0,
+                }
+            else:
+                payload = {
+                    "type": "batch_outcome",
+                    "digest": frame.get("digest"),
+                    "ok": True,
+                    "results": [result.to_dict() for result in results],
+                    "error": None,
+                    "duration_s": time.perf_counter() - start,
+                }
+        finally:
+            if fetcher_installed:
+                self._remove_fetcher()
+        self.jobs_run += len(specs)
+        METRICS.counter("dist.worker.jobs").inc(len(specs))
         send_frame(conn, payload)
 
     # -- prep fetch ----------------------------------------------------

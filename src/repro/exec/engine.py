@@ -289,12 +289,83 @@ class ExecutionEngine(ABC):
             )
         return JobOutcome(spec=spec, error=error, attempts=attempts, engine=name)
 
+    # -- batched execution (repro.exec.batch) ---------------------------
+
+    def _batching_enabled(self) -> bool:
+        """Batching is a pure perf transformation; anything that depends
+        on per-cell execution — fault replay keyed on per-job attempts,
+        per-job trace narration, a custom runner — keeps cells single."""
+        return (
+            self.job_runner is execute_job
+            and get_fault_plan() is None
+            and not get_tracer().enabled
+        )
+
+    def _plan_units(self, specs: Sequence[JobSpec]) -> list[tuple[int, ...]]:
+        """Index units for ``specs``: multi-lane groups when the batch
+        planner applies, else the identity plan (one unit per job)."""
+        if not self._batching_enabled():
+            return [(i,) for i in range(len(specs))]
+        from repro.exec.batch import plan_units
+
+        return plan_units(specs)
+
+    def _run_batch_inline(
+        self, specs: list[JobSpec], *, engine_name: str | None = None
+    ) -> list[JobOutcome]:
+        """One in-process attempt at a whole batch unit.
+
+        A failing batch is decomposed, not retried as a batch: every cell
+        re-enters the per-job retry path with its full attempt budget, so
+        batching can never cost a cell its retries.  Wall clock is
+        attributed evenly across lanes (lanes run back-to-back over
+        shared state; finer attribution would charge the shared prep to
+        whichever lane went first).
+        """
+        from repro.exec.batch import execute_batch
+
+        name = engine_name if engine_name is not None else self.name
+        start = time.perf_counter()
+        try:
+            results = execute_batch(specs)
+        except Exception as exc:  # noqa: BLE001 — decompose, don't fail cells
+            METRICS.counter("batch.failed").inc()
+            METRICS.counter("exec.retries").inc()
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    RetryEvent(
+                        label=f"batch[{specs[0].label}+{len(specs) - 1}]",
+                        engine=name,
+                        attempt=1,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            return [self._execute_with_retry(spec, engine_name=name) for spec in specs]
+        per_cell = (time.perf_counter() - start) / len(specs)
+        outcomes = []
+        for spec, result in zip(specs, results):
+            METRICS.timer("exec.job").observe(per_cell)
+            METRICS.counter("exec.jobs_ok").inc()
+            outcomes.append(
+                JobOutcome(
+                    spec=spec,
+                    result=result,
+                    attempts=1,
+                    duration_s=per_cell,
+                    engine=name,
+                )
+            )
+        return outcomes
+
 
 class SerialEngine(ExecutionEngine):
     """Runs every job in the calling process, one after another.
 
     This is the default engine: zero overhead, exactly the behaviour the
-    harness had before the execution layer existed — plus retries.
+    harness had before the execution layer existed — plus retries.  Cells
+    grouped by the batch planner (``cache_backend: "batch"``) execute as
+    one multi-lane replay, fanned back out into per-cell outcomes.
     """
 
     name = "serial"
@@ -303,10 +374,16 @@ class SerialEngine(ExecutionEngine):
         self, specs: Sequence[JobSpec], *, on_outcome: OnOutcome | None = None
     ) -> list[JobOutcome]:
         self._reset_backoff()
-        outcomes = []
-        for spec in specs:
-            outcome = self._execute_with_retry(spec)
-            if on_outcome is not None:
-                on_outcome(outcome)
-            outcomes.append(outcome)
-        return outcomes
+        specs = list(specs)
+        outcomes: list[JobOutcome | None] = [None] * len(specs)
+        for unit in self._plan_units(specs):
+            if len(unit) == 1:
+                unit_outcomes = [self._execute_with_retry(specs[unit[0]])]
+            else:
+                unit_outcomes = self._run_batch_inline([specs[i] for i in unit])
+            for idx, outcome in zip(unit, unit_outcomes):
+                outcomes[idx] = outcome
+                if on_outcome is not None:
+                    on_outcome(outcome)
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]

@@ -40,7 +40,7 @@ DEFAULT_POLICIES = ("shared", "static-equal", "throughput", "model-based")
 # argparse hook and the spec schema so both entry points normalise alike.
 POLICY_ALIASES = {"model": "model-based", "cpi": "cpi-proportional", "equal": "static-equal"}
 
-CACHE_BACKENDS = ("fast", "reference")
+CACHE_BACKENDS = ("fast", "reference", "batch")
 
 
 class GridError(ValueError):

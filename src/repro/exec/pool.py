@@ -63,6 +63,19 @@ def _timed_call(job_runner: Callable[[JobSpec], RunResult], spec: JobSpec, attem
     return result, time.perf_counter() - start
 
 
+def _timed_batch_call(specs: list[JobSpec]):
+    """Worker-side wrapper for one batch unit: every lane in one pass.
+
+    Fault plans never coexist with batching (the planner gates on them),
+    so unlike :func:`_timed_call` there is nothing to fire here.
+    """
+    from repro.exec.batch import execute_batch
+
+    start = time.perf_counter()
+    results = execute_batch(specs)
+    return results, time.perf_counter() - start
+
+
 def _worker_init(prep_key, fault_plan: FaultPlan | None) -> None:
     """Pool-worker initializer: install the shared prep store and the
     active fault plan.
@@ -204,6 +217,52 @@ class ProcessPoolEngine(ExecutionEngine):
         if not specs:
             return []
         self._reset_backoff()
+        units = self._plan_units(specs)
+        batch_units = [u for u in units if len(u) >= 2]
+        if not batch_units:
+            return self._run_singles(specs, on_outcome)
+        # Batched units go through the pool first (one future per unit);
+        # a unit that fails decomposes into singles, which then share the
+        # ordinary pooled path — and its retry/degradation machinery —
+        # with the cells that were never batchable.
+        outcomes: list[JobOutcome | None] = [None] * len(specs)
+        singles = [i for u in units if len(u) == 1 for i in u]
+        if self.jobs <= 1:
+            for unit in batch_units:
+                for idx, outcome in zip(
+                    unit,
+                    self._run_batch_inline(
+                        [specs[i] for i in unit], engine_name=self.name
+                    ),
+                ):
+                    outcomes[idx] = outcome
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+        else:
+            try:
+                singles += self._run_batches_pooled(
+                    specs, batch_units, outcomes, on_outcome
+                )
+            except (KeyboardInterrupt, SystemExit):
+                self._discard_pool(wait=False)
+                raise
+        singles.sort()
+        if singles:
+            single_outcomes = self._run_singles(
+                [specs[i] for i in singles], on_outcome
+            )
+            for idx, outcome in zip(singles, single_outcomes):
+                outcomes[idx] = outcome
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _run_singles(
+        self, specs: list[JobSpec], on_outcome: OnOutcome | None
+    ) -> list[JobOutcome]:
+        """The per-job path: pooled, or in-process when a pool buys
+        nothing (``jobs <= 1`` or a single job)."""
+        if not specs:
+            return []
         if self.jobs <= 1 or len(specs) == 1:
             # A pool buys nothing here; keep the exact serial semantics.
             outcomes = []
@@ -220,6 +279,75 @@ class ProcessPoolEngine(ExecutionEngine):
             # processes) behind when the batch is being torn down.
             self._discard_pool(wait=False)
             raise
+
+    def _run_batches_pooled(
+        self,
+        specs: list[JobSpec],
+        units: list[tuple[int, ...]],
+        outcomes: list[JobOutcome | None],
+        on_outcome: OnOutcome | None,
+    ) -> list[int]:
+        """Execute multi-lane units on the warm pool; fill ``outcomes``
+        for cells that succeeded and return the indices of cells whose
+        unit failed (they fall back to the per-job path, budget intact).
+
+        The per-job timeout scales by lane count — a unit is N cells of
+        work.  A wedged or broken pool is discarded exactly like in
+        :meth:`_pool_round`; the per-job path that follows rebuilds it.
+        """
+        leftover: list[int] = []
+        try:
+            executor = self._ensure_pool()
+        except Exception as exc:  # noqa: BLE001 — any build failure decomposes
+            METRICS.counter("batch.failed").inc(len(units))
+            del exc  # the singles path will surface the pool problem loudly
+            return [i for u in units for i in u]
+        abandoned = False
+        waves = [
+            (unit, executor.submit(_timed_batch_call, [specs[i] for i in unit]))
+            for unit in units
+        ]
+        try:
+            for unit, future in waves:
+                if abandoned:
+                    future.cancel()
+                    leftover.extend(unit)
+                    continue
+                timeout = None if self.timeout_s is None else self.timeout_s * len(unit)
+                try:
+                    results, duration = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    METRICS.counter("batch.failed").inc()
+                    leftover.extend(unit)
+                    abandoned = True  # the worker may still be wedged on it
+                    continue
+                except BrokenExecutor:
+                    METRICS.counter("batch.failed").inc()
+                    leftover.extend(unit)
+                    abandoned = True
+                    continue
+                except Exception:  # noqa: BLE001 — unit failure decomposes
+                    METRICS.counter("batch.failed").inc()
+                    leftover.extend(unit)
+                    continue
+                per_cell = duration / len(unit)
+                for idx, result in zip(unit, results):
+                    METRICS.timer("exec.job").observe(per_cell)
+                    METRICS.counter("exec.jobs_ok").inc()
+                    outcome = JobOutcome(
+                        spec=specs[idx],
+                        result=result,
+                        attempts=1,
+                        duration_s=per_cell,
+                        engine=self.name,
+                    )
+                    outcomes[idx] = outcome
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+        finally:
+            if abandoned:
+                self._discard_pool(wait=False)
+        return leftover
 
     def _run_pooled(
         self, specs: list[JobSpec], on_outcome: OnOutcome | None

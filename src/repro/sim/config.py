@@ -63,9 +63,10 @@ class SystemConfig:
             raise ValueError("sections_per_interval must be >= 1")
         if self.min_ways < 0:
             raise ValueError("min_ways must be >= 0")
-        if self.cache_backend not in ("reference", "fast"):
+        if self.cache_backend not in ("reference", "fast", "batch"):
             raise ValueError(
-                f"cache_backend must be 'reference' or 'fast', got {self.cache_backend!r}"
+                "cache_backend must be 'reference', 'fast' or 'batch', "
+                f"got {self.cache_backend!r}"
             )
 
     @property

@@ -29,6 +29,7 @@ __all__ = [
     "make_policy",
     "prepare_program",
     "run_application",
+    "run_batch",
     "set_program_cache_limit",
 ]
 
@@ -186,3 +187,61 @@ def run_application(
     )
     with tracer.span("simulate"):
         return engine.run()
+
+
+def run_batch(
+    app: str | WorkloadProfile,
+    cells: list[tuple[str | PartitioningPolicy, SystemConfig]],
+    *,
+    tracer: Tracer | None = None,
+) -> list[RunResult]:
+    """Simulate one application under several (policy, config) cells that
+    share a prepared program, in a single batched replay.
+
+    Every cell must agree on everything that shapes the program — seed,
+    thread count, interval structure, L1 geometry, timing — while the L2
+    geometry, ``min_ways``, and of course the policy are free to vary
+    per lane.  Returns one :class:`RunResult` per cell, in cell order,
+    each byte-identical to :func:`run_application` on that cell alone.
+    """
+    from dataclasses import replace
+
+    from repro.cache.batch import BatchLane, replay_batch
+
+    if not cells:
+        return []
+    base = cells[0][1]
+    for i, (_, cfg) in enumerate(cells):
+        if (
+            replace(cfg, l2_geometry=base.l2_geometry, min_ways=base.min_ways)
+            != base
+        ):
+            raise ValueError(
+                f"batch cell {i} does not share cell 0's prepared program "
+                "(cells may differ only in policy, L2 geometry, and min_ways)"
+            )
+    if tracer is None:
+        tracer = get_tracer()
+    with tracer.span("prepare"):
+        compiled = prepare_program(app, base)
+        lanes = []
+        for policy, cfg in cells:
+            policy_obj = make_policy(policy, cfg)
+            policy_obj.reset()
+            runtime = RuntimeSystem(policy_obj, tracer=tracer, app=compiled.name)
+            lanes.append(
+                BatchLane(
+                    geometry=cfg.l2_geometry,
+                    enforce_partition=policy_obj.enforce_partition,
+                    targets=runtime.initial_targets(),
+                    runtime=runtime,
+                    tracer=tracer,
+                )
+            )
+    with tracer.span("simulate"):
+        return replay_batch(
+            compiled,
+            lanes,
+            base.timing,
+            interval_instructions=base.interval_instructions,
+        )

@@ -273,10 +273,10 @@ def _parse_grid(payload: dict, problems: _Problems) -> SweepGrid | None:
         if not isinstance(value, int) or isinstance(value, bool) or value < 1:
             problems.add(f"spec.config.{key}", f"expected int >= 1, got {value!r}")
             return None
-    if cache_backend not in ("fast", "reference"):
+    if cache_backend not in ("fast", "reference", "batch"):
         problems.add(
             "spec.config.cache_backend",
-            f"expected one of fast, reference, got {cache_backend!r}",
+            f"expected one of fast, reference, batch, got {cache_backend!r}",
         )
         return None
     try:

@@ -30,7 +30,7 @@ from repro import SystemConfig
 from repro.cache import CacheGeometry, FastPartitionedSharedCache, PartitionedSharedCache
 from repro.obs.tracer import RecordingTracer
 from repro.partition import POLICY_REGISTRY
-from repro.sim.driver import run_application
+from repro.sim.driver import run_application, run_batch
 
 APPS = ("swim", "art", "equake", "mgrid")
 SEEDS = (1, 7)
@@ -97,6 +97,79 @@ def test_run_results_byte_identical_eight_core(policy):
     assert json.dumps(ref.to_dict(), sort_keys=True) == json.dumps(
         fast.to_dict(), sort_keys=True
     )
+
+
+@pytest.mark.parametrize("geometry", GEOMETRIES, ids=("l2-32x16", "l2-16x8"))
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("app", APPS)
+def test_batched_run_results_byte_identical(app, seed, geometry):
+    """Full matrix for the batch backend: every lane of an all-policies
+    batch serialises identically to the reference run of that cell."""
+    policies = sorted(POLICY_REGISTRY)
+    config = _quick_config(geometry, seed, "batch")
+    results = run_batch(app, [(policy, config) for policy in policies])
+    for policy, result in zip(policies, results):
+        ref = run_application(app, policy, _quick_config(geometry, seed, "reference"))
+        ref_d, lane_d = ref.to_dict(), result.to_dict()
+        if json.dumps(ref_d, sort_keys=True) != json.dumps(lane_d, sort_keys=True):
+            diffs = _diff_fields(ref_d, lane_d)
+            pytest.fail(
+                f"batch lane diverges for {app}/{policy} seed={seed} {geometry}:\n  "
+                + "\n  ".join(diffs[:20])
+            )
+
+
+@pytest.mark.parametrize("policies", (("model-based", "shared"), ("fairness", "cpi-proportional")))
+def test_batched_run_results_byte_identical_eight_core(policies):
+    """8-thread lanes replay identically batched too."""
+    base = SystemConfig.quick(n_threads=8)
+    results = run_batch(
+        "art", [(policy, base.with_(cache_backend="batch")) for policy in policies]
+    )
+    for policy, result in zip(policies, results):
+        ref = run_application("art", policy, base.with_(cache_backend="reference"))
+        assert json.dumps(ref.to_dict(), sort_keys=True) == json.dumps(
+            result.to_dict(), sort_keys=True
+        ), f"batched 8-core lane diverges for art/{policy}"
+
+
+def test_batched_lanes_may_differ_in_l2_geometry():
+    """The lane axis spans L2 geometries sharing one prepared program."""
+    cells = [
+        ("model-based", _quick_config(geometry, 1, "batch"))
+        for geometry in GEOMETRIES
+    ]
+    results = run_batch("swim", cells)
+    for (policy, config), result in zip(cells, results):
+        ref = run_application(
+            "swim", policy, config.with_(cache_backend="reference")
+        )
+        assert json.dumps(ref.to_dict(), sort_keys=True) == json.dumps(
+            result.to_dict(), sort_keys=True
+        )
+
+
+def test_batched_telemetry_stream_matches_reference():
+    """A traced batch narrates each lane exactly like a solo reference
+    run, in lane order (spans differ: one prepare/simulate per batch)."""
+    policies = ("model-based", "shared")
+    tracer = RecordingTracer()
+    run_batch(
+        "swim",
+        [(policy, _quick_config(GEOMETRIES[0], 1, "batch")) for policy in policies],
+        tracer=tracer,
+    )
+    batched = [(e.kind, e.to_dict()) for e in tracer.events if e.kind != "span"]
+    expected = []
+    for policy in policies:
+        solo = RecordingTracer()
+        run_application(
+            "swim", policy, _quick_config(GEOMETRIES[0], 1, "reference"), tracer=solo
+        )
+        expected.extend(
+            (e.kind, e.to_dict()) for e in solo.events if e.kind != "span"
+        )
+    assert batched == expected
 
 
 @pytest.mark.parametrize("policy", ("model-based", "throughput", "shared"))

@@ -78,3 +78,46 @@ def test_golden_result(app, policy):
         f"{preview}{more}\n"
         "If intended, regenerate with REPRO_REGEN_GOLDEN=1 and review the diff."
     )
+
+
+def test_golden_results_batched():
+    """The batch backend pins to the same frozen history: one multi-app
+    replay per golden case, each lane byte-identical to its fixture.
+
+    The fixtures are shared with :func:`test_golden_result` on purpose —
+    regenerating them (``REPRO_REGEN_GOLDEN=1``) re-pins every backend at
+    once, so the batch kernel can never drift behind a regeneration.
+    """
+    missing = [
+        f"{app}__{policy}.json"
+        for app, policy in CASES
+        if not (GOLDEN_DIR / f"{app}__{policy}.json").exists()
+    ]
+    if REGEN or missing:
+        pytest.skip(f"fixtures pending regeneration: {missing or 'regen run'}")
+    from repro.sim.driver import run_batch
+
+    config = SystemConfig.quick().with_(cache_backend="batch")
+    for app, policy in CASES:
+        # One-lane batches per case: the golden CASES span apps, so they
+        # can never share a prepared program; what is pinned here is the
+        # batch *entry point* against the same frozen bytes.
+        (result,) = run_batch(app, [(policy, config)])
+        golden = json.loads((GOLDEN_DIR / f"{app}__{policy}.json").read_text())
+        assert result.to_dict() == golden, (
+            f"batched {app}/{policy} drifted from its golden fixture"
+        )
+
+
+def test_golden_results_batched_multi_lane():
+    """Multi-lane batches pin to the same fixtures where policies share
+    an app: swim under model-based next to a second lane must reproduce
+    the frozen swim/model-based bytes exactly."""
+    if REGEN or not (GOLDEN_DIR / "swim__model-based.json").exists():
+        pytest.skip("fixtures pending regeneration")
+    from repro.sim.driver import run_batch
+
+    config = SystemConfig.quick().with_(cache_backend="batch")
+    results = run_batch("swim", [("model-based", config), ("shared", config)])
+    golden = json.loads((GOLDEN_DIR / "swim__model-based.json").read_text())
+    assert results[0].to_dict() == golden
