@@ -1,0 +1,134 @@
+"""Worker-published results vs relayed bytes: what ``--publish-results`` buys.
+
+With a plain remote sweep every ``RunResult`` travels worker →
+coordinator inside the outcome frame, and the coordinator writes it to
+the store — the coordinator's socket and store are on every result's
+critical path.  With publishing (DESIGN.md §J) the worker files the
+result into the shared store itself and the outcome frame shrinks to a
+digest-sized acknowledgement, so coordinator-side work per cell is a
+journal line, not a result relay.
+
+The benchmark runs the same grid both ways on in-process workers backed
+by one shared :class:`~repro.exec.backend.MemoryBackend` (the store a
+proxy would serve), asserting both modes land byte-identical aggregates
+against a serial control, and reports wall per mode (best of ``--reps``)
+plus the per-cell result payload that publishing takes off the
+coordinator link (measured by encoding the outcomes exactly the way the
+wire does).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_publish.py          # BENCH.md numbers
+    PYTHONPATH=src python benchmarks/bench_fleet_publish.py --smoke  # CI guard
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.dist import RemoteEngine, WorkerServer
+from repro.dist.codec import canonical_bytes, encode_outcome
+from repro.exec.backend import MemoryBackend
+from repro.exec.engine import SerialEngine, execute_job
+from repro.exec.jobs import JobOutcome, JobSpec
+from repro.exec.store import ResultStore
+from repro.exec.sweep import run_sweep
+from repro.obs.metrics import METRICS
+from repro.sim.config import SystemConfig
+
+
+def measure_mode(publish: bool, apps, policies, config, reps: int) -> tuple[float, str]:
+    """Best-of-``reps`` wall for the grid; returns (wall_s, aggregates JSON)."""
+    shared = MemoryBackend()
+    store = ResultStore("fleet-store", backend=shared)
+    workers = [
+        WorkerServer(publish_store=store if publish else None).start() for _ in range(2)
+    ]
+    try:
+        engine = RemoteEngine([w.address for w in workers], publish_results=publish)
+        best, agg = float("inf"), None
+        for _rep in range(reps):
+            before = METRICS.counter("dist.results_published").value
+            start = time.perf_counter()
+            result = run_sweep(apps, policies, config=config, engine=engine)
+            elapsed = time.perf_counter() - start
+            assert not result.failures, result.failures
+            assert not engine.degraded_reasons, engine.degraded_reasons
+            published = METRICS.counter("dist.results_published").value - before
+            expected = len(result.cells) if publish else 0
+            assert published == expected, (published, expected)
+            rendered = json.dumps(result.aggregates(), sort_keys=True)
+            assert agg is None or agg == rendered, "reps disagree with each other"
+            agg = rendered
+            best = min(best, elapsed)
+        return best, agg
+    finally:
+        for w in workers:
+            w.stop()
+
+
+def relay_payload_bytes(apps, policies, config) -> int:
+    """What the coordinator link carries per grid when results are
+    relayed: every outcome frame's canonical encoding, summed.  Computed
+    from serial outcomes outside any timed region."""
+    total = 0
+    for app in apps:
+        for policy in policies:
+            spec = JobSpec(app, policy, config)
+            outcome = JobOutcome(spec=spec, result=execute_job(spec))
+            total += len(canonical_bytes(encode_outcome(outcome)))
+    return total
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid, byte-identity only (CI)")
+    parser.add_argument("--reps", type=int, default=3)
+    args = parser.parse_args()
+
+    if args.smoke:
+        apps, policies = ["ft", "cg"], ["shared", "static-equal"]
+        config = SystemConfig.default().with_(n_intervals=5, interval_instructions=2000)
+        reps = 1
+    else:
+        apps = ["swim", "art", "equake"]
+        policies = ["model-based", "shared", "static-equal"]
+        config = SystemConfig.default()
+        reps = args.reps
+    n_jobs = len(apps) * len(policies)
+
+    serial_agg = json.dumps(
+        run_sweep(apps, policies, config=config, engine=SerialEngine()).aggregates(),
+        sort_keys=True,
+    )
+    relayed = relay_payload_bytes(apps, policies, config)
+
+    walls = {}
+    for mode, publish in (("relay", False), ("publish", True)):
+        wall, agg = measure_mode(publish, apps, policies, config, reps)
+        if agg != serial_agg:
+            print(f"error: {mode} mode diverges from serial — numbers void",
+                  file=sys.stderr)
+            return 1
+        walls[mode] = wall
+
+    print(f"{n_jobs} jobs on 2 in-process workers, best of {reps}")
+    print(f"{'mode':>8}  {'wall':>8}")
+    for mode, wall in walls.items():
+        print(f"{mode:>8}  {wall:>7.2f}s")
+    print(f"result payload kept off the coordinator link by publishing: {relayed:,} bytes/grid")
+    print("fleet-publish-ok=yes (both modes byte-identical to serial)")
+    print(json.dumps({
+        "jobs": n_jobs, "reps": reps,
+        "walls_s": {m: round(w, 3) for m, w in walls.items()},
+        "relayed_bytes": relayed,
+    }))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

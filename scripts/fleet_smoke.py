@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Fleet smoke: autoscale an empty fleet, kill a worker, compare clean.
+
+CI runs this as the end-to-end proof of the fleet contract (DESIGN.md
+§J) outside the pytest harness:
+
+1. run the spec grid serially into a control store;
+2. start ``repro serve`` with a hosted registrar and the autoscaler
+   bounded at [0, 2] — the fleet starts *empty*; no ``--workers`` list
+   anywhere;
+3. submit the same grid; the queued backlog must scale the fleet 0→2
+   subprocess workers (discovered via the registrar, admitted
+   mid-sweep);
+4. SIGKILL one worker; the controller must notice the death and launch
+   a replacement while the sweep keeps running;
+5. require the sweep to finish with zero failures, the service to drain
+   cleanly on SIGTERM, and ``repro compare-runs`` to report the fleet
+   store byte-identical to the serial control under the spec's zero
+   tolerances.
+
+Prints ``scaled-to=2``, ``relaunched=yes`` and ``aggregates-match=yes``
+on success (CI greps for these); exits non-zero on any violation.
+
+Usage: PYTHONPATH=src python scripts/fleet_smoke.py [--spec FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def load_grid(path: str) -> dict:
+    from repro.spec import load_spec
+
+    grid = load_spec(path).grid
+    return {
+        "apps": list(grid.apps),
+        "policies": list(grid.policies),
+        "seeds": list(grid.seeds),
+        "thread_counts": list(grid.thread_counts),
+        "intervals": grid.intervals,
+        "interval_instructions": grid.interval_instructions,
+        "client": "fleet-smoke",
+    }
+
+
+def run_control(spec: str, store: Path) -> None:
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro", "run-spec", spec,
+            "--cache-dir", str(store), "--json",
+        ],
+        check=True, stdout=subprocess.DEVNULL, timeout=600,
+    )
+
+
+def start_serve(tmp: Path, data_dir: Path, store: Path) -> tuple[subprocess.Popen, int]:
+    port_file = tmp / f"serve-port-{time.monotonic_ns()}"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--port-file", str(port_file),
+            "--data-dir", str(data_dir), "--cache-dir", str(store),
+            "--engine", "remote",
+            "--registrar-port", "0",
+            "--fleet-min", "0", "--fleet-max", "2", "--fleet-poll", "0.2",
+            "--batch-size", "1",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if port_file.is_file() and port_file.read_text().strip():
+            return proc, int(port_file.read_text().strip())
+        if proc.poll() is not None:
+            raise RuntimeError(f"serve died at startup:\n{proc.stdout.read()}")
+        time.sleep(0.02)
+    proc.kill()
+    raise RuntimeError("serve did not write its port file in time")
+
+
+def fleet_stats(client) -> dict:
+    fleet = client.stats().get("fleet") or {}
+    workers = fleet.get("workers") or []
+    fleet["alive"] = [w for w in workers if w.get("alive")]
+    return fleet
+
+
+def wait_for(predicate, *, timeout_s: float, what: str, poll_s: float = 0.1):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll_s)
+    raise RuntimeError(f"timed out after {timeout_s:.0f}s waiting for {what}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--spec", default="specs/chaos_sweep.yaml", metavar="FILE",
+        help="experiment spec naming the grid (default specs/chaos_sweep.yaml)",
+    )
+    args = parser.parse_args()
+
+    from repro.serve.client import ServeClient
+
+    grid = load_grid(args.spec)
+    with tempfile.TemporaryDirectory(prefix="fleet-smoke-") as tmp_str:
+        tmp = Path(tmp_str)
+        control_store = tmp / "control-store"
+        fleet_store = tmp / "fleet-store"
+
+        run_control(args.spec, control_store)
+        print("serial control complete")
+
+        proc, port = start_serve(tmp, tmp / "serve-data", fleet_store)
+        client = ServeClient(port=port)
+        try:
+            submission = client.submit(grid)
+            sweep_id = submission["sweep_id"]
+            print(f"submitted sweep {sweep_id} against an empty fleet")
+
+            # The queued backlog must autoscale the fleet from nothing.
+            wait_for(
+                lambda: len(fleet_stats(client)["alive"]) >= 2,
+                timeout_s=120, what="the autoscaler to reach 2 workers",
+            )
+            print("scaled-to=2")
+
+            victim_pid = fleet_stats(client)["alive"][0]["pid"]
+            os.kill(victim_pid, signal.SIGKILL)
+            print(f"killed worker pid={victim_pid}")
+
+            # The controller must notice the death and, with backlog
+            # still queued, launch a replacement mid-sweep.
+            wait_for(
+                lambda: fleet_stats(client).get("worker_deaths", 0) >= 1,
+                timeout_s=60, what="the controller to record the death",
+            )
+            relaunched = wait_for(
+                lambda: (
+                    len(fleet_stats(client)["alive"]) >= 2
+                    or (client.status(sweep_id)["status"] != "running" and "done")
+                ),
+                timeout_s=120, what="a replacement worker (or sweep end)",
+            )
+            if relaunched == "done":
+                print(
+                    "error: sweep finished before the replacement launched; "
+                    "the grid is too fast for this host", file=sys.stderr,
+                )
+                return 1
+            print("relaunched=yes")
+
+            final = wait_for(
+                lambda: (s := client.status(sweep_id))["status"] != "running" and s,
+                timeout_s=600, what="the sweep to finish", poll_s=0.25,
+            )
+            if final["status"] != "done":
+                print(f"error: sweep ended {final['status']!r}", file=sys.stderr)
+                return 1
+            result = final["result"]
+            if result["n_failures"]:
+                print(f"error: {result['n_failures']} cell(s) failed", file=sys.stderr)
+                return 1
+            print(f"sweep done: {len(result['cells'])} cell(s), 0 failures")
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+                proc.wait(timeout=120)
+        output = proc.stdout.read()
+        if proc.returncode != 0 or "drained cleanly" not in output:
+            print(
+                f"error: serve exited {proc.returncode} without a clean "
+                f"drain:\n{output}", file=sys.stderr,
+            )
+            return 1
+
+        compare = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "compare-runs",
+                str(control_store), str(fleet_store), "--spec", args.spec,
+            ],
+            text=True, capture_output=True, timeout=300,
+        )
+        sys.stdout.write(compare.stdout)
+        sys.stderr.write(compare.stderr)
+        if compare.returncode != 0:
+            print("aggregates-match=no", file=sys.stderr)
+            return 1
+        print("aggregates-match=yes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,12 @@ Frame types after the handshake (job links):
 
 * ``job`` — one attempt of one spec; the worker answers with exactly one
   ``outcome`` frame, possibly preceded by ``prep_fetch`` requests that
-  the coordinator answers inline with ``prep_bundle`` frames.
+  the coordinator answers inline with ``prep_bundle`` frames.  A job
+  frame may carry ``"publish": true``, which the coordinator only sets
+  when the worker advertised the ``store-publish`` cap in its welcome:
+  the worker then writes the result to its configured store and answers
+  with a slim outcome (``"published": true, "total_cycles": N,
+  "result": null``) instead of relaying the result bytes.
 * ``ping``/``pong`` — liveness probe (the registry's heartbeat).
 * ``bye`` — orderly end of the batch; the worker drops the connection
   and waits for the next coordinator.
@@ -37,6 +42,12 @@ Store-proxy links reuse the same hello/welcome (with ``grid_digest``
 null) and then speak ``store_read``/``store_write``/``store_delete``/
 ``store_list``/``store_exists`` request frames, each answered by one
 ``store_reply``.
+
+Registrar links (:mod:`repro.fleet.registrar`) also reuse the
+handshake (``grid_digest`` null; the welcome advertises the
+``registrar`` cap) followed by ``register``/``deregister``/``members``
+request frames — workers announce themselves, coordinators poll the
+membership view to admit late joiners mid-sweep.
 """
 
 from __future__ import annotations

@@ -27,7 +27,7 @@ __all__ = ["WorkerRegistry", "format_address", "parse_worker_address", "ping_wor
 
 
 def parse_worker_address(value) -> tuple[str, int]:
-    """``host:port`` (or an ``(host, port)`` pair) → ``(host, port)``."""
+    """``host:port`` / ``[v6host]:port`` (or an ``(host, port)`` pair) → ``(host, port)``."""
     if isinstance(value, tuple):
         host, port = value
         return str(host), int(port)
@@ -35,11 +35,22 @@ def parse_worker_address(value) -> tuple[str, int]:
     host, sep, port = text.rpartition(":")
     if not sep or not host or not port.isdigit():
         raise ValueError(f"worker address {value!r} is not host:port")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+        if not host:
+            raise ValueError(f"worker address {value!r} has an empty bracketed host")
+    elif ":" in host:
+        raise ValueError(
+            f"worker address {value!r} is ambiguous: bracket IPv6 hosts as [{host}]:{port}"
+        )
     return host, int(port)
 
 
 def format_address(address: tuple[str, int]) -> str:
-    return f"{address[0]}:{address[1]}"
+    host = str(address[0])
+    if ":" in host:  # IPv6 literal: bracket so the text round-trips through parse
+        return f"[{host}]:{address[1]}"
+    return f"{host}:{address[1]}"
 
 
 class WorkerRegistry:
@@ -62,10 +73,21 @@ class WorkerRegistry:
         if tracer.enabled:
             tracer.emit(WorkerJoinEvent(worker=worker_id, address=addr, pid=pid))
 
-    def note_lost(self, address: tuple[str, int], reason: str, *, requeued: int = 0) -> None:
+    def note_lost(self, address: tuple[str, int], reason: str, *, requeued: int = 0) -> bool:
+        """Record the death of a *member*; returns whether anything was counted.
+
+        The dispatch-failure path and the reachability probe can both
+        report the same death (and a connect-refused retry reports a
+        worker that never joined at all), so losses are only counted —
+        and ``worker_lost`` only emitted — for addresses currently in the
+        membership view.  Anything else is a duplicate or a stranger and
+        is dropped so ``repro report`` stays honest.
+        """
         addr = format_address(address)
         with self._lock:
             info = self._connected.pop(addr, None)
+            if info is None:
+                return False
             self.lost += 1
             METRICS.counter("dist.worker_lost").inc()
             METRICS.gauge("dist.workers_connected").set(len(self._connected))
@@ -73,16 +95,41 @@ class WorkerRegistry:
         if tracer.enabled:
             tracer.emit(
                 WorkerLostEvent(
-                    worker=info["worker"] if info else "?",
+                    worker=info["worker"],
                     address=addr,
                     reason=reason,
                     requeued=requeued,
                 )
             )
+        return True
 
     def connected(self) -> dict[str, dict]:
         with self._lock:
             return {addr: dict(info) for addr, info in self._connected.items()}
+
+    def addresses(self) -> list[tuple[str, int]]:
+        """Current members as ``(host, port)`` pairs (a membership view)."""
+        with self._lock:
+            keys = list(self._connected)
+        return [parse_worker_address(addr) for addr in keys]
+
+    def sweep(self, *, timeout_s: float = 2.0) -> list[str]:
+        """Liveness sweep: ping every member, drop the unreachable.
+
+        Returns the addresses that were evicted.  Incompatible-but-alive
+        workers (``HandshakeError``) are left alone — they answered, so
+        the link owner gets to decide what to do with them.
+        """
+        evicted: list[str] = []
+        for address in self.addresses():
+            try:
+                ping_worker(address, timeout_s=timeout_s)
+            except HandshakeError:
+                continue
+            except OSError as exc:
+                if self.note_lost(address, f"liveness probe failed: {exc}"):
+                    evicted.append(format_address(address))
+        return evicted
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,42 @@
+"""repro.fleet — operating a worker fleet instead of naming one.
+
+``repro.dist`` (DESIGN.md §G) runs a sweep over workers someone listed
+by hand; this package (DESIGN.md §J) closes the loop around *where those
+workers come from and how many there should be*:
+
+* **discovery** (:mod:`repro.fleet.registrar`): workers announce
+  themselves to a :class:`FleetRegistrar` frame-protocol endpoint (or a
+  :class:`FileRegistry` directory for single-box use); the registrar
+  keeps an authoritative membership view with liveness sweeps, and
+  :class:`~repro.dist.engine.RemoteEngine` polls it to admit late
+  joiners mid-sweep.
+* **provisioning** (:mod:`repro.fleet.launcher`): the
+  :class:`WorkerLauncher` seam — subprocess workers shipped, external
+  provisioners pluggable.
+* **autoscaling** (:mod:`repro.fleet.controller`): a
+  :class:`FleetController` polls the serve layer's admission backlog and
+  scales between min/max bounds with hysteresis.
+
+Wired together by ``repro serve --registrar-port ... --fleet-max N`` and
+``repro sweep --registrar HOST:PORT`` (see README, "Operating a fleet").
+"""
+
+from repro.fleet.controller import FleetController
+from repro.fleet.launcher import (
+    InProcessLauncher,
+    SubprocessLauncher,
+    WorkerHandle,
+    WorkerLauncher,
+)
+from repro.fleet.registrar import FileRegistry, FleetRegistrar, RegistrarClient
+
+__all__ = [
+    "FileRegistry",
+    "FleetController",
+    "FleetRegistrar",
+    "InProcessLauncher",
+    "RegistrarClient",
+    "SubprocessLauncher",
+    "WorkerHandle",
+    "WorkerLauncher",
+]

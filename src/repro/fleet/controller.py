@@ -1,0 +1,217 @@
+"""Backlog-driven autoscaling with hysteresis.
+
+The serve layer already measures demand — ``serve.queue.depth`` is the
+scheduler's live backlog and ``serve.sweeps.rejected`` counts admission
+turn-aways — so the controller is a pure poll loop over signals that
+exist anyway, in the spirit of reacting to observed load rather than
+static configuration.  Each poll classifies the moment as *pressure*
+(queued cells, or new rejections since the last poll) or *idle*, and
+only a **sustained** run of same-direction polls moves the fleet:
+``up_after`` consecutive pressure polls add one worker, ``down_after``
+consecutive idle polls retire one, always clamped to
+``[min_workers, max_workers]``.  One worker per decision plus the two
+counters *is* the hysteresis — a backlog blip cannot thrash the fleet,
+and scale-down is deliberately slower than scale-up (the asymmetry every
+load-shedding controller wants).
+
+:meth:`FleetController.step` is deterministic given the signal values,
+so the decision table is unit-testable without threads or clocks; the
+background loop in :meth:`start` just calls it on a timer.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.events import FleetScaleEvent
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import get_tracer
+
+__all__ = ["FleetController"]
+
+
+def _default_backlog() -> int:
+    return int(METRICS.gauge("serve.queue.depth").value)
+
+
+def _default_rejected() -> int:
+    return int(METRICS.counter("serve.sweeps.rejected").value)
+
+
+class FleetController:
+    """Scale a :class:`~repro.fleet.launcher.WorkerLauncher` fleet between
+    bounds, driven by the admission backlog.
+
+    Parameters
+    ----------
+    launcher:
+        Where workers come from; the controller owns every handle it
+        launched and stops them all on :meth:`stop`.
+    min_workers / max_workers:
+        Fleet bounds.  The floor is enforced immediately (one launch per
+        poll, no hysteresis — a fleet below minimum is a config
+        violation, not a load signal); the ceiling caps scale-up.
+    up_after / down_after:
+        Consecutive same-direction polls required before acting.
+    backlog_fn / rejected_fn:
+        Signal sources; default to the serve layer's ``serve.queue.depth``
+        gauge and ``serve.sweeps.rejected`` counter.  Injectable for the
+        deterministic decision-table tests.
+    """
+
+    def __init__(
+        self,
+        launcher,
+        *,
+        min_workers: int = 0,
+        max_workers: int = 2,
+        poll_s: float = 1.0,
+        up_after: int = 2,
+        down_after: int = 5,
+        backlog_fn=None,
+        rejected_fn=None,
+    ) -> None:
+        if min_workers < 0 or max_workers < 1 or min_workers > max_workers:
+            raise ValueError(
+                f"fleet bounds must satisfy 0 <= min <= max with max >= 1, "
+                f"got [{min_workers}, {max_workers}]"
+            )
+        if up_after < 1 or down_after < 1:
+            raise ValueError("hysteresis thresholds must be >= 1")
+        self.launcher = launcher
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.poll_s = poll_s
+        self.up_after = up_after
+        self.down_after = down_after
+        self.backlog_fn = backlog_fn or _default_backlog
+        self.rejected_fn = rejected_fn or _default_rejected
+        self.handles: list = []
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.worker_deaths = 0
+        self._hot = 0
+        self._cold = 0
+        self._last_rejected: int | None = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- the control loop ----------------------------------------------
+
+    def step(self) -> int:
+        """One poll: prune the dead, read the signals, maybe act.
+
+        Returns +1 (launched a worker), -1 (retired one) or 0.
+        """
+        with self._lock:
+            live = [h for h in self.handles if h.alive]
+            died = len(self.handles) - len(live)
+            self.handles = live
+            if died:
+                self.worker_deaths += died
+                METRICS.counter("fleet.worker_deaths").inc(died)
+
+            backlog = self._read(self.backlog_fn)
+            rejected = self._read(self.rejected_fn)
+            new_rejections = (
+                0 if self._last_rejected is None else max(rejected - self._last_rejected, 0)
+            )
+            self._last_rejected = rejected
+            pressure = backlog > 0 or new_rejections > 0
+            workers = len(self.handles)
+
+            action = 0
+            if workers < self.min_workers:
+                # Below the floor: repair immediately, no hysteresis.
+                action = 1
+            elif pressure and workers < self.max_workers:
+                self._hot += 1
+                self._cold = 0
+                if self._hot >= self.up_after:
+                    action = 1
+            elif not pressure and workers > self.min_workers:
+                self._cold += 1
+                self._hot = 0
+                if self._cold >= self.down_after:
+                    action = -1
+            else:
+                self._hot = self._cold = 0
+
+            if action == 1:
+                self._hot = 0
+                self.handles.append(self.launcher.launch())
+                self.scale_ups += 1
+                METRICS.counter("fleet.scale_up").inc()
+            elif action == -1:
+                self._cold = 0
+                handle = self.handles.pop()
+                self.scale_downs += 1
+                METRICS.counter("fleet.scale_down").inc()
+            METRICS.gauge("fleet.workers").set(len(self.handles))
+
+        if action == -1:
+            handle.stop()  # outside the lock: stop() may block on wait()
+        if action:
+            direction = "up" if action == 1 else "down"
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    FleetScaleEvent(
+                        direction=direction,
+                        workers_before=workers,
+                        workers_after=workers + action,
+                        backlog=backlog,
+                        reason=(
+                            "below minimum"
+                            if action == 1 and workers < self.min_workers
+                            else f"{'sustained backlog' if action == 1 else 'sustained idle'}"
+                        ),
+                    )
+                )
+        return action
+
+    @staticmethod
+    def _read(fn) -> int:
+        try:
+            return int(fn())
+        except Exception:
+            return 0  # a broken signal must idle the controller, not kill it
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "FleetController":
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-controller", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_s):
+            self.step()
+
+    def stop(self) -> None:
+        """Stop the loop and terminate every fleet-owned worker."""
+        self._stop.set()
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=5.0)
+        with self._lock:
+            handles, self.handles = self.handles, []
+            METRICS.gauge("fleet.workers").set(0)
+        for handle in handles:
+            handle.stop()
+
+    def describe(self) -> dict:
+        """JSON-safe snapshot for ``/v1/stats`` and the CLI."""
+        with self._lock:
+            return {
+                "min_workers": self.min_workers,
+                "max_workers": self.max_workers,
+                "workers": [
+                    {"pid": h.pid, "alive": h.alive} for h in self.handles
+                ],
+                "scale_ups": self.scale_ups,
+                "scale_downs": self.scale_downs,
+                "worker_deaths": self.worker_deaths,
+            }

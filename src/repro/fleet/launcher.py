@@ -1,0 +1,198 @@
+"""Worker provisioning: how the autoscaler actually gets a worker.
+
+The controller decides *when* to scale; a :class:`WorkerLauncher` knows
+*how*.  The shipped :class:`SubprocessLauncher` starts ``repro worker``
+processes on this box and points them at the registrar (or file
+registry) so they self-announce — the launcher never needs to learn the
+worker's port, which is what lets every worker bind port 0.  External
+provisioners (a cloud API, a cluster scheduler) implement the same
+two-method interface and plug into the controller unchanged.
+
+:class:`InProcessLauncher` runs :class:`~repro.dist.worker.WorkerServer`
+threads inside the current process and registers them directly — the
+deterministic test double, also handy for laptop-scale sweeps where a
+process per worker is overkill.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+from abc import ABC, abstractmethod
+
+from repro.dist.registry import format_address, parse_worker_address
+from repro.obs.metrics import METRICS
+
+__all__ = [
+    "InProcessLauncher",
+    "SubprocessLauncher",
+    "WorkerHandle",
+    "WorkerLauncher",
+]
+
+
+class WorkerHandle(ABC):
+    """One launched worker the controller can check on and stop."""
+
+    @property
+    @abstractmethod
+    def pid(self) -> int:
+        """Process id (0 when the worker has no process of its own)."""
+
+    @property
+    @abstractmethod
+    def alive(self) -> bool: ...
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Terminate the worker; idempotent."""
+
+
+class WorkerLauncher(ABC):
+    """The provisioning seam: ``launch`` one worker, hand back a handle."""
+
+    @abstractmethod
+    def launch(self) -> WorkerHandle: ...
+
+
+class SubprocessWorkerHandle(WorkerHandle):
+    def __init__(self, proc: subprocess.Popen) -> None:
+        self.proc = proc
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def stop(self) -> None:
+        if not self.alive:
+            return
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=5.0)
+
+
+class SubprocessLauncher(WorkerLauncher):
+    """``repro worker`` subprocesses on this machine.
+
+    Workers bind port 0 and announce themselves via ``--registrar`` /
+    ``--registry-dir``; ``--store-proxy`` and ``--prep-dir`` pass through
+    when the fleet publishes results or shares prepared programs.  The
+    child inherits this process's environment (so ``PYTHONPATH`` and
+    friends keep working under test runners and CI).
+    """
+
+    def __init__(
+        self,
+        *,
+        registrar=None,
+        registry_dir=None,
+        store_proxy=None,
+        prep_dir=None,
+        host: str = "127.0.0.1",
+        extra_args=(),
+    ) -> None:
+        if registrar is None and registry_dir is None:
+            raise ValueError(
+                "SubprocessLauncher needs a registrar address or a registry dir "
+                "(an unannounced worker is undiscoverable)"
+            )
+        self.registrar = None if registrar is None else parse_worker_address(registrar)
+        self.registry_dir = registry_dir
+        self.store_proxy = None if store_proxy is None else parse_worker_address(store_proxy)
+        self.prep_dir = prep_dir
+        self.host = host
+        self.extra_args = list(extra_args)
+
+    def launch(self) -> SubprocessWorkerHandle:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+        ]
+        if self.registrar is not None:
+            argv += ["--registrar", format_address(self.registrar)]
+        if self.registry_dir is not None:
+            argv += ["--registry-dir", str(self.registry_dir)]
+        if self.store_proxy is not None:
+            argv += ["--store-proxy", format_address(self.store_proxy)]
+        if self.prep_dir is not None:
+            argv += ["--prep-dir", str(self.prep_dir)]
+        argv += self.extra_args
+        proc = subprocess.Popen(
+            argv,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=os.environ.copy(),
+        )
+        METRICS.counter("fleet.launched").inc()
+        return SubprocessWorkerHandle(proc)
+
+
+class InProcessWorkerHandle(WorkerHandle):
+    def __init__(self, server, registrar) -> None:
+        self.server = server
+        self.registrar = registrar
+        self._stopped = threading.Event()
+
+    @property
+    def pid(self) -> int:
+        return os.getpid()
+
+    @property
+    def alive(self) -> bool:
+        return not self._stopped.is_set() and self.server.running
+
+    def stop(self) -> None:
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self.registrar is not None:
+            try:
+                self.registrar.deregister(self.server.address)
+            except Exception:
+                pass
+        self.server.stop()
+
+
+class InProcessLauncher(WorkerLauncher):
+    """Thread-backed workers registered straight into a registrar object
+    (anything with ``register``/``deregister`` — a
+    :class:`~repro.fleet.registrar.FleetRegistrar` or its client)."""
+
+    def __init__(self, registrar=None, *, job_runner=None, publish_store=None) -> None:
+        self.registrar = registrar
+        self.job_runner = job_runner
+        self.publish_store = publish_store
+        self.launched: list[InProcessWorkerHandle] = []
+
+    def launch(self) -> InProcessWorkerHandle:
+        from repro.dist.worker import WorkerServer
+
+        server = WorkerServer(
+            job_runner=self.job_runner, publish_store=self.publish_store
+        ).start()
+        if self.registrar is not None:
+            self.registrar.register(
+                server.address,
+                worker_id=server.worker_id,
+                pid=os.getpid(),
+                caps=server.caps(),
+            )
+        METRICS.counter("fleet.launched").inc()
+        handle = InProcessWorkerHandle(server, self.registrar)
+        self.launched.append(handle)
+        return handle

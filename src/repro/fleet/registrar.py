@@ -1,0 +1,425 @@
+"""Worker discovery: the registrar endpoint and the file-based registry.
+
+``repro.dist`` assumes someone hands the coordinator a worker list; this
+module is where that list comes from.  Two discovery mechanisms share one
+membership contract — ``addresses() -> [(host, port), ...]`` — which is
+exactly what :class:`~repro.dist.engine.RemoteEngine` polls to admit
+workers mid-sweep:
+
+* :class:`FleetRegistrar` — a small frame-protocol TCP endpoint (same
+  length-prefixed canonical-JSON frames as the job wire, same
+  hello/welcome handshake) the coordinator or the serve process hosts.
+  Workers ``register`` themselves on start and ``deregister`` on clean
+  exit; a background liveness sweep pings members with the existing
+  :func:`~repro.dist.registry.ping_worker` probe and evicts the
+  unreachable, so a SIGKILLed worker leaves the view within a few probe
+  intervals rather than never.
+* :class:`FileRegistry` — single-box discovery with no extra socket: one
+  JSON file per worker under a shared directory, liveness by
+  ``os.kill(pid, 0)``.  Good for laptop sweeps and tests; useless across
+  machines, which is what the registrar is for.
+
+:class:`RegistrarClient` is both the worker-side announcement client and
+a remote membership view (``addresses()`` with a short TTL cache, so an
+engine polling every quarter second does not hammer the registrar).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+from repro.dist.protocol import (
+    HandshakeError,
+    ProtocolError,
+    check_hello,
+    hello_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.dist.registry import format_address, parse_worker_address, ping_worker
+from repro.obs.events import WorkerEvictedEvent, WorkerRegisteredEvent
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import get_tracer
+
+__all__ = ["FileRegistry", "FleetRegistrar", "RegistrarClient"]
+
+
+def _emit_registered(worker: str, address: str, pid: int) -> None:
+    METRICS.counter("fleet.registered").inc()
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.emit(WorkerRegisteredEvent(worker=worker, address=address, pid=pid))
+
+
+def _emit_evicted(worker: str, address: str, reason: str) -> None:
+    METRICS.counter("fleet.evicted").inc()
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.emit(WorkerEvictedEvent(worker=worker, address=address, reason=reason))
+
+
+class FleetRegistrar:
+    """The membership authority one fleet shares.
+
+    Frames (after the standard hello/welcome handshake):
+
+    * ``{"type": "register", "host", "port", "worker_id", "pid", "caps"}``
+      → ``{"type": "registered", "members": N}``
+    * ``{"type": "deregister", "host", "port"}``
+      → ``{"type": "deregistered", "removed": bool}``
+    * ``{"type": "members"}`` → ``{"type": "members", "workers": [...]}``
+    * ``ping``/``pong``, ``bye`` — as on the job wire.
+
+    A worker that registers as ``0.0.0.0``/``::`` gets its host rewritten
+    to the peer address of the registering connection — the bind-all
+    address is reachable for the worker, not for anyone else.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        probe_interval_s: float = 2.0,
+        probe_timeout_s: float = 2.0,
+    ) -> None:
+        self.probe_interval_s = probe_interval_s
+        self.probe_timeout_s = probe_timeout_s
+        self._listener = socket.create_server((host, port))
+        self.address = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._members: dict[str, dict] = {}
+        self._stop = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._sweep_thread: threading.Thread | None = None
+        self.registered = 0
+        self.evicted = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "FleetRegistrar":
+        self._accept_thread = threading.Thread(
+            target=self._serve_forever, name=f"registrar-{self.address[1]}", daemon=True
+        )
+        self._accept_thread.start()
+        if self.probe_interval_s > 0:
+            self._sweep_thread = threading.Thread(
+                target=self._sweep_forever, name="registrar-sweep", daemon=True
+            )
+            self._sweep_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for thread in (self._accept_thread, self._sweep_thread):
+            if thread is not None and thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FleetRegistrar":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- membership (local API, also used by the wire handlers) --------
+
+    def register(self, address, *, worker_id: str = "?", pid: int = 0, caps=()) -> int:
+        address = parse_worker_address(address)
+        key = format_address(address)
+        with self._lock:
+            fresh = key not in self._members
+            self._members[key] = {
+                "host": address[0],
+                "port": address[1],
+                "worker_id": worker_id,
+                "pid": int(pid),
+                "caps": list(caps),
+            }
+            count = len(self._members)
+            if fresh:
+                self.registered += 1
+                METRICS.gauge("fleet.members").set(count)
+        if fresh:
+            _emit_registered(worker_id, key, int(pid))
+        return count
+
+    def deregister(self, address, *, reason: str = "deregistered") -> bool:
+        key = format_address(parse_worker_address(address))
+        with self._lock:
+            info = self._members.pop(key, None)
+            if info is None:
+                return False
+            self.evicted += 1
+            METRICS.gauge("fleet.members").set(len(self._members))
+        _emit_evicted(info["worker_id"], key, reason)
+        return True
+
+    def members(self) -> list[dict]:
+        with self._lock:
+            return [dict(info) for info in self._members.values()]
+
+    def addresses(self) -> list[tuple[str, int]]:
+        with self._lock:
+            return [(info["host"], info["port"]) for info in self._members.values()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._members)
+
+    # -- liveness ------------------------------------------------------
+
+    def sweep_once(self) -> list[str]:
+        """Ping every member; evict the unreachable.  Returns evictions."""
+        gone: list[str] = []
+        for info in self.members():
+            address = (info["host"], info["port"])
+            try:
+                ping_worker(address, timeout_s=self.probe_timeout_s)
+            except HandshakeError:
+                continue  # alive but incompatible: the engine's problem
+            except OSError as exc:
+                if self.deregister(address, reason=f"liveness probe failed: {exc}"):
+                    gone.append(format_address(address))
+        return gone
+
+    def _sweep_forever(self) -> None:
+        while not self._stop.wait(self.probe_interval_s):
+            self.sweep_once()
+
+    # -- wire service --------------------------------------------------
+
+    def _serve_forever(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                break
+            threading.Thread(
+                target=self._serve_connection, args=(conn, peer), daemon=True
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket, peer) -> None:
+        try:
+            self._connection_loop(conn, peer)
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _connection_loop(self, conn: socket.socket, peer) -> None:
+        hello = recv_frame(conn)
+        if hello is None:
+            return
+        refusal = check_hello(hello)
+        if refusal is not None:
+            send_frame(conn, {"type": "error", "error": refusal})
+            return
+        send_frame(
+            conn,
+            {
+                "type": "welcome",
+                "protocol": hello["protocol"],
+                "version": hello["version"],
+                "worker_id": f"registrar-{self.address[1]}",
+                "pid": os.getpid(),
+                "caps": ["registrar"],
+            },
+        )
+        while True:
+            frame = recv_frame(conn)
+            if frame is None or frame["type"] == "bye":
+                return
+            if frame["type"] == "ping":
+                send_frame(conn, {"type": "pong"})
+            elif frame["type"] == "register":
+                host = str(frame.get("host", ""))
+                if host in ("", "0.0.0.0", "::"):
+                    host = peer[0]
+                count = self.register(
+                    (host, int(frame["port"])),
+                    worker_id=str(frame.get("worker_id", "?")),
+                    pid=int(frame.get("pid", 0)),
+                    caps=frame.get("caps") or (),
+                )
+                send_frame(conn, {"type": "registered", "members": count})
+            elif frame["type"] == "deregister":
+                removed = self.deregister((str(frame["host"]), int(frame["port"])))
+                send_frame(conn, {"type": "deregistered", "removed": removed})
+            elif frame["type"] == "members":
+                send_frame(conn, {"type": "members", "workers": self.members()})
+            else:
+                send_frame(
+                    conn,
+                    {"type": "error", "error": f"unexpected frame {frame['type']!r}"},
+                )
+                return
+
+
+class RegistrarClient:
+    """Talk to a :class:`FleetRegistrar` over the wire.
+
+    One short-lived connection per call — registration traffic is rare
+    and a membership poll is one round-trip, so connection reuse would
+    buy latency nobody needs at the cost of a liveness-ambiguous cached
+    socket.  ``addresses()`` caches its answer for ``cache_ttl_s`` and
+    falls back to the last good snapshot when the registrar is briefly
+    unreachable, so an engine mid-batch never sees the fleet flap to
+    empty because of one dropped poll.
+    """
+
+    def __init__(self, address, *, timeout_s: float = 5.0, cache_ttl_s: float = 1.0) -> None:
+        self.address = parse_worker_address(address)
+        self.timeout_s = timeout_s
+        self.cache_ttl_s = cache_ttl_s
+        self._cached: list[tuple[str, int]] = []
+        self._cached_at = 0.0
+        self._lock = threading.Lock()
+
+    def _call(self, frame: dict) -> dict:
+        with socket.create_connection(self.address, timeout=self.timeout_s) as sock:
+            sock.settimeout(self.timeout_s)
+            send_frame(sock, hello_frame(None, None))
+            welcome = recv_frame(sock)
+            if welcome is None or welcome.get("type") != "welcome":
+                error = (welcome or {}).get("error", "registrar closed during handshake")
+                raise HandshakeError(error)
+            send_frame(sock, frame)
+            reply = recv_frame(sock)
+            if reply is None:
+                raise ProtocolError("registrar closed mid-request")
+            if reply.get("type") == "error":
+                raise ProtocolError(str(reply.get("error")))
+            send_frame(sock, {"type": "bye"})
+            return reply
+
+    def register(self, worker_address, *, worker_id: str = "?", pid: int = 0, caps=()) -> int:
+        host, port = parse_worker_address(worker_address)
+        reply = self._call(
+            {
+                "type": "register",
+                "host": host,
+                "port": port,
+                "worker_id": worker_id,
+                "pid": int(pid),
+                "caps": list(caps),
+            }
+        )
+        return int(reply.get("members", 0))
+
+    def deregister(self, worker_address) -> bool:
+        host, port = parse_worker_address(worker_address)
+        reply = self._call({"type": "deregister", "host": host, "port": port})
+        return bool(reply.get("removed"))
+
+    def members(self) -> list[dict]:
+        reply = self._call({"type": "members"})
+        return list(reply.get("workers") or ())
+
+    def addresses(self) -> list[tuple[str, int]]:
+        with self._lock:
+            if time.monotonic() - self._cached_at < self.cache_ttl_s:
+                return list(self._cached)
+        try:
+            fresh = [(m["host"], m["port"]) for m in self.members()]
+        except (OSError, ProtocolError, HandshakeError):
+            with self._lock:
+                return list(self._cached)
+        with self._lock:
+            self._cached = fresh
+            self._cached_at = time.monotonic()
+            return list(fresh)
+
+
+class FileRegistry:
+    """Single-box discovery: one JSON file per worker in a shared dir.
+
+    ``announce`` publishes atomically (tmp + ``os.replace``, same
+    discipline as the result store); ``members`` prunes entries whose pid
+    no longer exists, so a SIGKILLed worker disappears from the view on
+    the next read without any sweeper thread.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path_for(self, address) -> Path:
+        key = format_address(parse_worker_address(address))
+        safe = key.replace(":", "_").replace("[", "").replace("]", "")
+        return self.root / f"{safe}.json"
+
+    def announce(self, address, *, worker_id: str = "?", pid: int | None = None, caps=()) -> Path:
+        address = parse_worker_address(address)
+        pid = os.getpid() if pid is None else int(pid)
+        path = self._path_for(address)
+        payload = {
+            "host": address[0],
+            "port": address[1],
+            "worker_id": worker_id,
+            "pid": pid,
+            "caps": list(caps),
+        }
+        tmp = path.with_suffix(f".tmp-{pid}")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        _emit_registered(worker_id, format_address(address), pid)
+        return path
+
+    def withdraw(self, address) -> bool:
+        try:
+            self._path_for(address).unlink()
+            return True
+        except OSError:
+            return False
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        if pid <= 0:
+            return True  # unknown pid: no liveness claim either way
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True  # exists, owned by someone else
+        return True
+
+    def members(self) -> list[dict]:
+        out: list[dict] = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                info = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not self._pid_alive(int(info.get("pid", 0))):
+                _emit_evicted(
+                    str(info.get("worker_id", "?")),
+                    format_address((info.get("host", "?"), info.get("port", 0))),
+                    f"pid {info.get('pid')} is gone",
+                )
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            out.append(info)
+        return out
+
+    def addresses(self) -> list[tuple[str, int]]:
+        return [(info["host"], info["port"]) for info in self.members()]

@@ -25,6 +25,7 @@ from repro.obs.events import (
     ConvergenceEvent,
     EngineDegradedEvent,
     FaultInjectedEvent,
+    FleetScaleEvent,
     IntervalEvent,
     InterruptEvent,
     JobEndEvent,
@@ -38,6 +39,8 @@ from repro.obs.events import (
     StoreMissEvent,
     SweepRejectedEvent,
     SweepSubmittedEvent,
+    WorkerEvictedEvent,
+    WorkerRegisteredEvent,
 )
 from repro.obs.export import chrome_trace, read_events, summarize, write_chrome_trace
 from repro.obs.metrics import METRICS, Counter, Gauge, Metrics, Timer
@@ -57,6 +60,7 @@ __all__ = [
     "EVENT_KINDS",
     "EngineDegradedEvent",
     "FaultInjectedEvent",
+    "FleetScaleEvent",
     "Gauge",
     "IntervalEvent",
     "InterruptEvent",
@@ -79,6 +83,8 @@ __all__ = [
     "SweepSubmittedEvent",
     "Timer",
     "Tracer",
+    "WorkerEvictedEvent",
+    "WorkerRegisteredEvent",
     "chrome_trace",
     "get_tracer",
     "read_events",

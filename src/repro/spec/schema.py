@@ -255,7 +255,9 @@ def _nonneg_int(value: object, path: str, problems: _Problems, default: int) -> 
 
 def _parse_grid(payload: dict, problems: _Problems) -> SweepGrid | None:
     grid_block = _block(payload, "grid", problems)
-    if grid_block is None and "grid" not in payload:
+    if grid_block is None and payload.get("grid") is None:
+        # Absent and explicit ``grid: null`` are both "missing"; _block
+        # already flagged any other non-mapping value.
         problems.add("spec.grid", "required block is missing")
     config_block = _block(payload, "config", problems) or {}
     if grid_block is None:

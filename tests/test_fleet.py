@@ -1,0 +1,698 @@
+"""Tests for repro.fleet: discovery, autoscaling, fleet-churn sweeps,
+worker-published results — plus the accounting bugfixes that shipped
+with the subsystem (member-only loss counting, live admission worker
+counts, bracketed-IPv6 addresses).
+
+Everything runs in-process: registrars, workers and controllers are
+threads; the subprocess launcher is exercised by the CI fleet smoke
+script (``scripts/fleet_smoke.py``), not here.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.dist import ProxyBackend, RemoteEngine, StoreProxyServer, WorkerServer
+from repro.dist.registry import (
+    WorkerRegistry,
+    format_address,
+    parse_worker_address,
+)
+from repro.exec.backend import MemoryBackend, ShardedBackend
+from repro.exec.engine import SerialEngine, execute_job
+from repro.exec.faults import FaultPlan, FaultRule, set_fault_plan
+from repro.exec.jobs import JobSpec
+from repro.exec.store import ResultStore
+from repro.exec.sweep import run_sweep
+from repro.fleet import (
+    FileRegistry,
+    FleetController,
+    FleetRegistrar,
+    InProcessLauncher,
+    RegistrarClient,
+)
+from repro.obs import METRICS
+from repro.serve.admission import AdmissionController
+from repro.sim.config import SystemConfig
+
+APPS = ["ft", "cg"]
+POLICIES = ["shared", "static-equal"]
+CONFIG = SystemConfig.default().with_(n_intervals=6, interval_instructions=4000)
+
+
+def _aggregates(engine) -> tuple[object, str]:
+    result = run_sweep(APPS, POLICIES, config=CONFIG, engine=engine)
+    return result, json.dumps(result.aggregates(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Satellite bugfixes
+# ---------------------------------------------------------------------------
+
+
+class TestAddressParsing:
+    def test_bracketed_ipv6_parses(self):
+        assert parse_worker_address("[::1]:8000") == ("::1", 8000)
+        assert parse_worker_address("[2001:db8::2]:9") == ("2001:db8::2", 9)
+
+    def test_ipv6_round_trips_through_format(self):
+        address = ("::1", 8000)
+        assert format_address(address) == "[::1]:8000"
+        assert parse_worker_address(format_address(address)) == address
+
+    def test_ipv4_round_trips_unbracketed(self):
+        assert format_address(("127.0.0.1", 80)) == "127.0.0.1:80"
+        assert parse_worker_address("127.0.0.1:80") == ("127.0.0.1", 80)
+
+    def test_bare_ipv6_is_rejected_as_ambiguous(self):
+        with pytest.raises(ValueError, match="ambiguous"):
+            parse_worker_address("::1:8000")
+
+    def test_empty_bracketed_host_rejected(self):
+        with pytest.raises(ValueError):
+            parse_worker_address("[]:8000")
+
+
+class TestLossAccounting:
+    def test_stranger_loss_is_not_counted(self):
+        """A connect-refused retry reports an address that never joined;
+        the registry must drop it rather than inflate ``lost``."""
+        registry = WorkerRegistry()
+        assert registry.note_lost(("127.0.0.1", 1), "connect refused") is False
+        assert registry.lost == 0
+        assert METRICS.snapshot()["counters"].get("dist.worker_lost", 0) == 0
+
+    def test_double_report_counts_once(self):
+        """The dispatch-failure path and the liveness probe can both
+        report the same death; only the first may count."""
+        registry = WorkerRegistry()
+        registry.note_join(("127.0.0.1", 7001), "w1", 42)
+        assert registry.note_lost(("127.0.0.1", 7001), "io error") is True
+        assert registry.note_lost(("127.0.0.1", 7001), "probe failed") is False
+        assert registry.lost == 1
+        assert METRICS.snapshot()["counters"]["dist.worker_lost"] == 1
+
+
+class TestAdmissionWorkers:
+    def test_static_int_still_works(self):
+        admission = AdmissionController(workers=4)
+        assert admission.workers == 4
+
+    def test_static_zero_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(workers=0)
+
+    def test_callable_is_resolved_live(self):
+        fleet = {"n": 1}
+        admission = AdmissionController(workers=lambda: fleet["n"])
+        assert admission.workers == 1
+        fleet["n"] = 8
+        assert admission.workers == 8
+
+    def test_callable_feeds_retry_after(self):
+        fleet = {"n": 1}
+        admission = AdmissionController(workers=lambda: fleet["n"])
+        timer = METRICS.timer("exec.job")
+        timer.observe(2.0)
+        slow = admission.retry_after_s(backlog=10)
+        fleet["n"] = 10
+        fast = admission.retry_after_s(backlog=10)
+        assert fast < slow  # more workers, sooner retry
+
+    def test_broken_or_empty_callable_clamps_to_one(self):
+        def boom():
+            raise RuntimeError("registrar down")
+
+        assert AdmissionController(workers=boom).workers == 1
+        assert AdmissionController(workers=lambda: 0).workers == 1
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+
+
+class TestFleetRegistrar:
+    def test_register_members_deregister(self):
+        with FleetRegistrar(probe_interval_s=0).start() as registrar:
+            assert registrar.register(("127.0.0.1", 7001), worker_id="w1", pid=11) == 1
+            assert registrar.register(("127.0.0.1", 7002), worker_id="w2", pid=22) == 2
+            assert registrar.addresses() == [("127.0.0.1", 7001), ("127.0.0.1", 7002)]
+            assert registrar.deregister(("127.0.0.1", 7001)) is True
+            assert registrar.deregister(("127.0.0.1", 7001)) is False  # idempotent
+            assert len(registrar) == 1
+        counters = METRICS.snapshot()["counters"]
+        assert counters["fleet.registered"] == 2
+        assert counters["fleet.evicted"] == 1
+
+    def test_reregistration_is_not_a_fresh_member(self):
+        with FleetRegistrar(probe_interval_s=0).start() as registrar:
+            registrar.register(("127.0.0.1", 7001), worker_id="w1")
+            registrar.register(("127.0.0.1", 7001), worker_id="w1")  # heartbeat
+            assert registrar.registered == 1
+            assert len(registrar) == 1
+
+    def test_wire_register_and_members(self):
+        with FleetRegistrar(probe_interval_s=0).start() as registrar:
+            client = RegistrarClient(registrar.address, cache_ttl_s=0.0)
+            assert client.register(("127.0.0.1", 7001), worker_id="w1", pid=5) == 1
+            members = client.members()
+            assert members == [
+                {
+                    "host": "127.0.0.1",
+                    "port": 7001,
+                    "worker_id": "w1",
+                    "pid": 5,
+                    "caps": [],
+                }
+            ]
+            assert client.addresses() == [("127.0.0.1", 7001)]
+            assert client.deregister(("127.0.0.1", 7001)) is True
+            assert client.addresses() == []
+
+    def test_bind_all_host_rewritten_to_peer(self):
+        """A worker that announces 0.0.0.0 is reachable at the peer
+        address of its registering connection, not at the bind-all
+        address."""
+        with FleetRegistrar(probe_interval_s=0).start() as registrar:
+            client = RegistrarClient(registrar.address)
+            client.register(("0.0.0.0", 7001), worker_id="w1")
+            assert registrar.addresses() == [("127.0.0.1", 7001)]
+
+    def test_client_falls_back_to_cached_snapshot(self):
+        registrar = FleetRegistrar(probe_interval_s=0).start()
+        client = RegistrarClient(registrar.address, cache_ttl_s=0.0, timeout_s=0.5)
+        client.register(("127.0.0.1", 7001), worker_id="w1")
+        assert client.addresses() == [("127.0.0.1", 7001)]
+        registrar.stop()  # the registrar blips away
+        assert client.addresses() == [("127.0.0.1", 7001)]  # last good view
+
+    def test_liveness_sweep_evicts_the_unreachable(self):
+        alive = WorkerServer().start()
+        try:
+            with FleetRegistrar(probe_interval_s=0, probe_timeout_s=0.5).start() as registrar:
+                dead = WorkerServer()
+                dead_address = dead.address
+                dead.stop()
+                registrar.register(alive.address, worker_id="alive")
+                registrar.register(dead_address, worker_id="dead")
+                gone = registrar.sweep_once()
+                assert gone == [format_address(dead_address)]
+                assert registrar.addresses() == [alive.address]
+        finally:
+            alive.stop()
+
+
+class TestFileRegistry:
+    def test_announce_members_withdraw(self, tmp_path):
+        registry = FileRegistry(tmp_path / "fleet")
+        registry.announce(("127.0.0.1", 7001), worker_id="w1", caps=["batch"])
+        assert registry.addresses() == [("127.0.0.1", 7001)]
+        assert registry.members()[0]["caps"] == ["batch"]
+        assert registry.withdraw(("127.0.0.1", 7001)) is True
+        assert registry.withdraw(("127.0.0.1", 7001)) is False
+        assert registry.addresses() == []
+
+    def test_dead_pid_is_pruned(self, tmp_path):
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        registry = FileRegistry(tmp_path)
+        registry.announce(("127.0.0.1", 7001), worker_id="gone", pid=proc.pid)
+        registry.announce(("127.0.0.1", 7002), worker_id="here")  # our own pid
+        assert registry.addresses() == [("127.0.0.1", 7002)]
+        assert not registry._path_for(("127.0.0.1", 7001)).exists()
+        assert METRICS.snapshot()["counters"]["fleet.evicted"] == 1
+
+    def test_ipv6_announce_round_trips(self, tmp_path):
+        registry = FileRegistry(tmp_path)
+        registry.announce(("::1", 7001), worker_id="w6")
+        assert registry.addresses() == [("::1", 7001)]
+
+
+# ---------------------------------------------------------------------------
+# Fleet churn: mid-sweep join, loss and relaunch, byte-identity throughout
+# ---------------------------------------------------------------------------
+
+
+class FakeMembership:
+    """A mutable membership view standing in for a registrar."""
+
+    def __init__(self, addresses=()):
+        self._addresses = list(addresses)
+        self._lock = threading.Lock()
+
+    def add(self, address):
+        with self._lock:
+            self._addresses.append(address)
+
+    def addresses(self):
+        with self._lock:
+            return list(self._addresses)
+
+
+class TestFleetChurn:
+    def test_empty_fleet_requires_some_source(self):
+        with pytest.raises(ValueError, match="membership"):
+            RemoteEngine([])
+
+    def test_mid_sweep_join_receives_claims(self):
+        """A sweep against an initially *empty* fleet completes solely
+        via a worker discovered after the batch started."""
+        _, serial_agg = _aggregates(SerialEngine())
+        membership = FakeMembership()
+        engine = RemoteEngine([], membership=membership, fleet_poll_s=0.05)
+        worker = WorkerServer().start()
+        try:
+            timer = threading.Timer(0.3, membership.add, args=[worker.address])
+            timer.start()
+            result, remote_agg = _aggregates(engine)
+            timer.join()
+        finally:
+            worker.stop()
+        assert remote_agg == serial_agg
+        assert not result.failures
+        assert engine.degraded_reasons == []
+        assert worker.jobs_run == len(APPS) * len(POLICIES)
+        counters = METRICS.snapshot()["counters"]
+        assert counters["dist.workers_admitted"] == 1
+
+    def test_lost_then_relaunched_worker_rejoins(self):
+        """Chaos kill mid-batch, replacement discovered mid-batch: the
+        sweep never degrades and the aggregates stay byte-identical."""
+        _, serial_agg = _aggregates(SerialEngine())
+        w1 = WorkerServer().start()
+        w2 = WorkerServer().start()
+        membership = FakeMembership([w1.address])
+        engine = RemoteEngine([], membership=membership, fleet_poll_s=0.05)
+        set_fault_plan(
+            FaultPlan(rules=(FaultRule(kind="worker-vanish", match="ft/shared", attempts=(1,)),))
+        )
+        try:
+            timer = threading.Timer(0.2, membership.add, args=[w2.address])
+            timer.start()
+            result, remote_agg = _aggregates(engine)
+            timer.join()
+        finally:
+            w1.stop()
+            w2.stop()
+        assert remote_agg == serial_agg
+        assert not result.failures
+        assert engine.degraded_reasons == []
+        assert engine.registry.lost == 1  # counted exactly once
+        assert w2.jobs_run > 0  # the relaunch actually covered the grid
+
+    def test_undiscovered_fleet_times_out_to_serial(self):
+        """No worker ever shows up: the batch still completes, loudly."""
+        _, serial_agg = _aggregates(SerialEngine())
+        engine = RemoteEngine(
+            [], membership=FakeMembership(), fleet_poll_s=0.02, fleet_wait_s=0.2
+        )
+        result, remote_agg = _aggregates(engine)
+        assert remote_agg == serial_agg
+        assert not result.failures
+        assert engine.degraded_reasons
+        assert "no workers discovered" in engine.degraded_reasons[0]
+
+
+# ---------------------------------------------------------------------------
+# Autoscaling
+# ---------------------------------------------------------------------------
+
+
+class FakeHandle:
+    def __init__(self):
+        self.alive = True
+        self.stopped = 0
+
+    @property
+    def pid(self):
+        return 0
+
+    def stop(self):
+        self.stopped += 1
+        self.alive = False
+
+
+class FakeLauncher:
+    def __init__(self):
+        self.launched: list[FakeHandle] = []
+
+    def launch(self):
+        handle = FakeHandle()
+        self.launched.append(handle)
+        return handle
+
+
+class TestAutoscalerDecisions:
+    """The deterministic decision table: step() given injected signals."""
+
+    def _controller(self, signals, **kwargs):
+        kwargs.setdefault("min_workers", 0)
+        kwargs.setdefault("max_workers", 2)
+        kwargs.setdefault("up_after", 2)
+        kwargs.setdefault("down_after", 3)
+        launcher = FakeLauncher()
+        controller = FleetController(
+            launcher,
+            backlog_fn=lambda: signals["backlog"],
+            rejected_fn=lambda: signals["rejected"],
+            **kwargs,
+        )
+        return controller, launcher
+
+    def test_sustained_backlog_scales_up_after_threshold(self):
+        signals = {"backlog": 5, "rejected": 0}
+        controller, launcher = self._controller(signals)
+        assert controller.step() == 0  # 1st pressure poll: wait
+        assert controller.step() == 1  # 2nd: act
+        assert len(launcher.launched) == 1
+        assert controller.step() == 0  # counter reset; wait again
+        assert controller.step() == 1
+        assert controller.step() == 0  # at max_workers: never exceed
+        assert len(launcher.launched) == 2
+        assert METRICS.snapshot()["counters"]["fleet.scale_up"] == 2
+
+    def test_backlog_blip_does_not_scale(self):
+        signals = {"backlog": 5, "rejected": 0}
+        controller, _ = self._controller(signals)
+        assert controller.step() == 0
+        signals["backlog"] = 0  # blip over before up_after
+        assert controller.step() == 0
+        signals["backlog"] = 5
+        assert controller.step() == 0  # hot streak restarted from zero
+        assert controller.step() == 1
+
+    def test_new_rejections_count_as_pressure(self):
+        signals = {"backlog": 0, "rejected": 10}
+        controller, _ = self._controller(signals)
+        assert controller.step() == 0  # first poll only baselines the counter
+        signals["rejected"] = 11
+        assert controller.step() == 0
+        signals["rejected"] = 12
+        assert controller.step() == 1
+
+    def test_sustained_idle_scales_down_slowly(self):
+        signals = {"backlog": 5, "rejected": 0}
+        controller, launcher = self._controller(signals)
+        controller.step(), controller.step()  # scale to 1
+        signals["backlog"] = 0
+        assert controller.step() == 0
+        assert controller.step() == 0
+        assert controller.step() == -1  # down_after=3
+        assert launcher.launched[0].stopped == 1
+        assert controller.step() == 0  # at min_workers: stays empty
+        assert METRICS.snapshot()["counters"]["fleet.scale_down"] == 1
+
+    def test_floor_repaired_immediately(self):
+        signals = {"backlog": 0, "rejected": 0}
+        controller, launcher = self._controller(signals, min_workers=1)
+        assert controller.step() == 1  # no hysteresis below the floor
+        assert len(launcher.launched) == 1
+        launcher.launched[0].alive = False  # SIGKILL equivalent
+        assert controller.step() == 1  # prune + immediate relaunch
+        assert controller.worker_deaths == 1
+        assert METRICS.snapshot()["counters"]["fleet.worker_deaths"] == 1
+
+    def test_broken_signal_idles_the_controller(self):
+        launcher = FakeLauncher()
+
+        def boom():
+            raise RuntimeError("metrics gone")
+
+        controller = FleetController(
+            launcher, max_workers=2, up_after=1, backlog_fn=boom, rejected_fn=boom
+        )
+        assert controller.step() == 0
+        assert launcher.launched == []
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FleetController(FakeLauncher(), min_workers=3, max_workers=2)
+        with pytest.raises(ValueError):
+            FleetController(FakeLauncher(), up_after=0)
+
+    def test_stop_terminates_the_fleet(self):
+        signals = {"backlog": 1, "rejected": 0}
+        controller, launcher = self._controller(signals, up_after=1)
+        controller.step()
+        controller.stop()
+        assert launcher.launched[0].stopped == 1
+        assert controller.describe()["workers"] == []
+
+
+class TestEndToEndAutoscale:
+    def test_sweep_served_entirely_by_autoscaled_workers(self):
+        """Empty fleet + queued demand: the controller launches workers
+        into the registrar, the engine discovers them, the sweep's
+        aggregates are byte-identical to serial, and idle drains the
+        fleet back down."""
+        _, serial_agg = _aggregates(SerialEngine())
+        registrar = FleetRegistrar(probe_interval_s=0)
+        signals = {"backlog": 4, "rejected": 0}
+        controller = FleetController(
+            InProcessLauncher(registrar),
+            min_workers=0,
+            max_workers=2,
+            up_after=1,
+            down_after=1,
+            backlog_fn=lambda: signals["backlog"],
+            rejected_fn=lambda: signals["rejected"],
+        )
+        try:
+            assert controller.step() == 1
+            assert controller.step() == 1
+            assert len(registrar) == 2  # workers self-registered
+            engine = RemoteEngine([], membership=registrar, fleet_poll_s=0.05)
+            result, remote_agg = _aggregates(engine)
+            assert remote_agg == serial_agg
+            assert not result.failures
+            assert engine.degraded_reasons == []
+            signals["backlog"] = 0
+            controller.step()  # baseline rejections
+            while controller.describe()["workers"]:
+                assert controller.step() == -1
+            assert len(registrar) == 0  # retirement deregistered them
+        finally:
+            controller.stop()
+            registrar.stop()
+        counters = METRICS.snapshot()["counters"]
+        assert counters["fleet.scale_up"] == 2
+        assert counters["fleet.launched"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Sharded store + worker-published results
+# ---------------------------------------------------------------------------
+
+
+class TestShardedBackend:
+    def test_routing_is_stable_and_total(self):
+        shards = [MemoryBackend() for _ in range(4)]
+        backend = ShardedBackend(shards)
+        keys = [f"v1/{i:02x}/{'a' * 8}{i}.json" for i in range(64)]
+        for key in keys:
+            backend.write(key, b"x")
+            assert backend.shard_for(key) is backend.shard_for(key)
+        assert sum(len(s.list()) for s in shards) == len(keys)
+        assert len([s for s in shards if s.list()]) > 1  # actually spread
+
+    def test_point_ops_route_and_list_merges(self):
+        backend = ShardedBackend([MemoryBackend() for _ in range(3)])
+        backend.write("v1/aa/1.json", b"one")
+        backend.write("v1/bb/2.json", b"two")
+        assert backend.read("v1/aa/1.json") == b"one"
+        assert backend.exists("v1/bb/2.json")
+        assert backend.list("v1/") == ["v1/aa/1.json", "v1/bb/2.json"]
+        assert backend.delete("v1/aa/1.json") is True
+        assert backend.delete("v1/aa/1.json") is False
+        assert backend.list("v1/") == ["v1/bb/2.json"]
+
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedBackend([])
+
+    def test_result_store_round_trips_through_shards(self, tmp_path):
+        spec = JobSpec("ft", "shared", CONFIG)
+        result = execute_job(spec)
+        store = ResultStore(tmp_path, backend=ShardedBackend.local(tmp_path, 4))
+        store.put(spec, result)
+        again = ResultStore(tmp_path, backend=ShardedBackend.local(tmp_path, 4))
+        loaded = again.get(spec)
+        assert loaded is not None
+        assert loaded.total_cycles == result.total_cycles
+        assert again.hits == 1
+        # Exactly one blob landed, in exactly one shard directory.
+        assert sum(1 for _ in tmp_path.glob("shard-*/v*/*/*.json")) == 1
+
+    def test_sweep_stale_sums_across_shards(self):
+        shards = [MemoryBackend() for _ in range(2)]
+        backend = ShardedBackend(shards)
+        assert backend.sweep_stale("v1", 0.0) == sum(
+            s.sweep_stale("v1", 0.0) for s in shards
+        )
+
+
+class TestWorkerPublishedResults:
+    def _publishing_fleet(self, shared_backend):
+        publish = ResultStore("fleet-store", backend=shared_backend)
+        workers = [
+            WorkerServer(publish_store=publish).start(),
+            WorkerServer(publish_store=publish).start(),
+        ]
+        engine = RemoteEngine([w.address for w in workers], publish_results=True)
+        return workers, engine
+
+    def test_publish_cap_advertised(self):
+        publishing = WorkerServer(publish_store=ResultStore("s", backend=MemoryBackend()))
+        plain = WorkerServer()
+        try:
+            assert "store-publish" in publishing.caps()
+            assert "store-publish" not in plain.caps()
+        finally:
+            publishing.stop()
+            plain.stop()
+
+    def test_published_sweep_is_byte_identical(self):
+        """Workers file results into the shared store; the coordinator
+        journals slim outcomes — and the aggregates (ints and all) stay
+        byte-identical to serial."""
+        _, serial_agg = _aggregates(SerialEngine())
+        shared = MemoryBackend()
+        workers, engine = self._publishing_fleet(shared)
+        try:
+            result, remote_agg = _aggregates(engine)
+        finally:
+            for w in workers:
+                w.stop()
+        assert remote_agg == serial_agg
+        assert not result.failures
+        n_cells = len(APPS) * len(POLICIES)
+        counters = METRICS.snapshot()["counters"]
+        assert counters["dist.results_published"] == n_cells
+        assert counters["dist.worker.published"] == n_cells
+        assert len(shared.list()) == n_cells  # the bytes went store-side
+
+    def test_publish_not_requested_without_engine_flag(self):
+        shared = MemoryBackend()
+        publish = ResultStore("fleet-store", backend=shared)
+        worker = WorkerServer(publish_store=publish).start()
+        try:
+            engine = RemoteEngine([worker.address])  # publish_results=False
+            _, remote_agg = _aggregates(engine)
+        finally:
+            worker.stop()
+        assert shared.list() == []  # nothing published without the ask
+        assert METRICS.snapshot()["counters"]["dist.results_published"] == 0
+
+    def test_publish_through_store_proxy(self):
+        """The no-shared-filesystem spelling: workers publish through a
+        StoreProxyServer and the coordinator reads the same store."""
+        _, serial_agg = _aggregates(SerialEngine())
+        shared = MemoryBackend()
+        proxy = StoreProxyServer(shared).start()
+        publish = ResultStore("fleet-store", backend=ProxyBackend(proxy.address))
+        worker = WorkerServer(publish_store=publish).start()
+        try:
+            engine = RemoteEngine([worker.address], publish_results=True)
+            result, remote_agg = _aggregates(engine)
+        finally:
+            worker.stop()
+            proxy.stop()
+        assert remote_agg == serial_agg
+        assert not result.failures
+        assert len(shared.list()) == len(APPS) * len(POLICIES)
+
+
+# ---------------------------------------------------------------------------
+# Surfacing: the serve stack and the report
+# ---------------------------------------------------------------------------
+
+
+class TestServeIntegration:
+    def test_build_service_wires_registrar_fleet_and_stats(self, tmp_path):
+        from repro.serve.runner import ServeSettings, build_service
+
+        settings = ServeSettings(
+            data_dir=tmp_path / "serve",
+            registrar_port=0,
+            fleet_min=0,
+            fleet_max=2,
+            fleet_launcher=FakeLauncher(),
+            store_shards=2,
+        )
+        service = build_service(settings)
+        try:
+            assert service.registrar is not None
+            assert service.fleet is not None
+            assert service.scheduler.engine.name == "remote"
+            stats = service.stats()
+            assert stats["registrar"]["workers"] == []
+            assert stats["registrar"]["address"][1] == service.registrar.address[1]
+            assert stats["fleet"]["max_workers"] == 2
+            # The registrar is the engine's membership source: a worker
+            # that registers becomes visible to admission control.
+            assert service.admission.workers == 1  # empty fleet clamps to 1
+            service.registrar.register(("127.0.0.1", 7001), worker_id="w1")
+            assert service.admission.workers == 1  # static list still empty...
+            assert service.scheduler.engine.jobs == 1
+        finally:
+            if service.fleet is not None:
+                service.fleet.stop()
+            service.registrar.stop()
+        # The store really is sharded behind the same abstraction.
+        assert service.store.backend.name == "sharded"
+        assert len(service.store.backend.shards) == 2
+
+
+class TestReportFleetSection:
+    def test_summarize_renders_fleet_section(self):
+        from repro.obs.export import summarize
+
+        records = [
+            {"kind": "worker_registered", "ts": 0.1, "worker": "w1",
+             "address": "127.0.0.1:7001", "pid": 11},
+            {"kind": "worker_evicted", "ts": 0.9, "worker": "w1",
+             "address": "127.0.0.1:7001", "reason": "liveness probe failed"},
+            {"kind": "fleet_scale", "ts": 0.5, "direction": "up",
+             "workers_before": 0, "workers_after": 1, "backlog": 4,
+             "reason": "sustained backlog"},
+            {"kind": "fleet_scale", "ts": 0.8, "direction": "down",
+             "workers_before": 1, "workers_after": 0, "backlog": 0,
+             "reason": "sustained idle"},
+        ]
+        text = summarize(records)
+        assert "fleet: 1 registration(s), 1 eviction(s), 1 scale-up(s), 1 scale-down(s)" in text
+        assert "scale up   0 -> 1 (backlog 4)" in text
+        assert "EVICTED w1 at 127.0.0.1:7001: liveness probe failed" in text
+
+    def test_fleet_events_round_trip_through_tracer(self, tmp_path):
+        from repro.obs import JsonlTracer, set_tracer
+        from repro.obs.events import (
+            FleetScaleEvent,
+            WorkerEvictedEvent,
+            WorkerRegisteredEvent,
+        )
+        from repro.obs.export import read_events, summarize
+
+        path = tmp_path / "fleet.jsonl"
+        tracer = JsonlTracer(path)
+        set_tracer(tracer)
+        try:
+            tracer.emit(WorkerRegisteredEvent(worker="w1", address="a:1", pid=1))
+            tracer.emit(FleetScaleEvent(direction="up", workers_before=0,
+                                        workers_after=1, backlog=2))
+            tracer.emit(WorkerEvictedEvent(worker="w1", address="a:1", reason="gone"))
+        finally:
+            set_tracer(None)
+            tracer.close()
+        records = read_events(path)
+        assert [r["kind"] for r in records] == [
+            "worker_registered", "fleet_scale", "worker_evicted",
+        ]
+        assert "fleet: 1 registration(s)" in summarize(records)

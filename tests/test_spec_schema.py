@@ -178,6 +178,9 @@ class TestFieldPathErrors:
             ({"grid": {"apps": ["ft"], "policies": ["shared"]}}, "spec.spec_version"),
             ({"spec_version": 99, "grid": {}}, "spec.spec_version"),
             ({"spec_version": 1}, "spec.grid"),
+            # Explicit ``grid: null`` is missing too, not a silent pass
+            # (hypothesis-found: parse used to succeed with no grid).
+            ({"spec_version": 1, "grid": None}, "spec.grid"),
         ],
     )
     def test_each_bad_field_is_named(self, doc, path):
